@@ -1,0 +1,48 @@
+"""Strong scaling of the extension applications (beyond the paper's seven).
+
+BFS / SSSP / PR / K-CORE / VERTEX-COVER on the medium analogs at 1-16
+hosts - the same sweep shape as Figure 9, demonstrating that the
+node-property-map machinery generalizes past the paper's application set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import host_counts, record
+from repro.eval.harness import run_kimbap
+
+FIGURE_TITLE = "Extension applications: strong scaling (modeled seconds)"
+
+HOSTS = host_counts(full=(1, 4, 16), fast=(1, 16))
+APPS = ("BFS", "SSSP", "PR", "K-CORE", "VERTEX-COVER")
+GRAPHS = ("road", "powerlaw")
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("graph", GRAPHS)
+@pytest.mark.parametrize("hosts", HOSTS)
+def test_extension_cell(benchmark, app, graph, hosts, figure_report):
+    result = benchmark.pedantic(
+        lambda: run_kimbap(app, graph, hosts), rounds=1, iterations=1
+    )
+    record(__name__, result)
+    benchmark.extra_info["modeled_total_s"] = result.total
+    assert result.rounds > 0
+
+
+def test_extension_compute_scales(benchmark, figure_report):
+    """Computation time must shrink with hosts for the edge-heavy apps."""
+
+    def ratios():
+        out = {}
+        for app in ("PR", "SSSP"):
+            single = run_kimbap(app, "powerlaw", 1)
+            many = run_kimbap(app, "powerlaw", 16)
+            out[app] = single.time.computation / max(many.time.computation, 1e-12)
+        return out
+
+    by_app = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in by_app.items()})
+    for app, ratio in by_app.items():
+        assert ratio > 2, f"{app} computation must scale with hosts"

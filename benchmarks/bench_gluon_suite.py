@@ -1,0 +1,65 @@
+"""The Gluon adjacent-vertex suite on Kimbap (bfs / cc / sssp).
+
+The Gluon paper (cited [27], the adjacent-vertex state of the art Kimbap
+must match) evaluates bfs, cc, pr, and sssp. Figures 9c/10c only compare
+connected components; this bench extends the comparability claim across
+the suite: Kimbap's compiled adjacent-vertex specialization must stay
+within a small factor of the Gluon engine on every application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.algorithms import bfs, cc_lp, sssp
+from repro.baselines import gluon_bfs, gluon_cc_lp, gluon_sssp
+from repro.cluster import Cluster
+from repro.eval.workloads import load_graph
+from repro.partition import partition
+
+FIGURE_TITLE = "Gluon adjacent-vertex suite: Kimbap vs Gluon (modeled seconds)"
+FIGURE_HEADERS = ("app", "graph", "hosts", "Gluon", "Kimbap", "ratio")
+
+PAIRS = {
+    "BFS": (gluon_bfs, bfs),
+    "CC-LP": (gluon_cc_lp, cc_lp),
+    "SSSP": (gluon_sssp, sssp),
+}
+
+
+@pytest.mark.parametrize("app", sorted(PAIRS))
+@pytest.mark.parametrize("graph_name", ("road", "powerlaw"))
+@pytest.mark.parametrize("hosts", (4, 16))
+def test_suite_cell(benchmark, app, graph_name, hosts, figure_report):
+    gluon_app, kimbap_app = PAIRS[app]
+    weighted = app == "SSSP"
+    graph = load_graph(graph_name, weighted=weighted)
+
+    def run_pair():
+        gluon_cluster = Cluster(hosts, threads_per_host=48)
+        gluon_result = gluon_app(gluon_cluster, partition(graph, hosts, "cvc"))
+        kimbap_cluster = Cluster(hosts, threads_per_host=48)
+        kimbap_result = kimbap_app(kimbap_cluster, partition(graph, hosts, "cvc"))
+        return gluon_cluster, gluon_result, kimbap_cluster, kimbap_result
+
+    gluon_cluster, gluon_result, kimbap_cluster, kimbap_result = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    ratio = kimbap_cluster.elapsed().total / gluon_cluster.elapsed().total
+    record(
+        __name__,
+        (
+            app,
+            graph_name,
+            hosts,
+            round(gluon_cluster.elapsed().total, 3),
+            round(kimbap_cluster.elapsed().total, 3),
+            round(ratio, 2),
+        ),
+    )
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    assert gluon_result.values == kimbap_result.values, "engines must agree"
+    assert 0.3 < ratio < 3.0, (
+        f"Kimbap must stay comparable to Gluon on {app} (ratio {ratio:.2f})"
+    )

@@ -1,0 +1,80 @@
+"""Section 4.2's motivating measurement: the fraction of master-node reads.
+
+The paper measured node-property reads across its applications: ~65% of
+reads hit master properties on 4 hosts and ~50% on 32 hosts - far above
+the ~3% of nodes that are masters per host - which is the locality GAR
+exploits. This bench reproduces the measurement from the runtime's
+zero-cost read counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.cluster import Cluster
+from repro.eval.harness import APP_POLICY, APP_WEIGHTED, KIMBAP_APPS
+from repro.eval.workloads import load_graph
+from repro.partition import partition
+
+FIGURE_TITLE = "Section 4.2: fraction of reads that hit master properties"
+FIGURE_HEADERS = ("app", "graph", "hosts", "master reads", "remote reads", "master %")
+
+APPS = ("CC-LP", "CC-SV", "CC-SCLP", "MIS", "LV", "MSF")
+
+
+def master_read_fraction(app: str, graph_name: str, hosts: int):
+    graph = load_graph(graph_name, weighted=APP_WEIGHTED.get(app, False))
+    pgraph = partition(graph, hosts, APP_POLICY[app])
+    cluster = Cluster(hosts, threads_per_host=48)
+    KIMBAP_APPS[app](cluster, pgraph)
+    counters = cluster.log.total_counters()
+    total = counters.reads_master + counters.reads_remote
+    fraction = counters.reads_master / max(total, 1)
+    return counters.reads_master, counters.reads_remote, fraction
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("hosts", (4, 32))
+def test_master_read_fraction(benchmark, app, hosts, figure_report):
+    master, remote, fraction = benchmark.pedantic(
+        master_read_fraction, args=(app, "powerlaw", hosts), rounds=1, iterations=1
+    )
+    record(
+        __name__,
+        (app, "powerlaw", hosts, master, remote, f"{100 * fraction:.0f}%"),
+    )
+    benchmark.extra_info["master_fraction"] = round(fraction, 3)
+    # Masters are a 1/hosts share of the nodes, yet reads concentrate on
+    # them at or beyond that share - the locality that justifies GAR.
+    assert fraction > 1 / hosts
+
+
+def test_average_fraction_shrinks_with_hosts(benchmark, figure_report):
+    def averages():
+        out = {}
+        for hosts in (4, 32):
+            fractions = [
+                master_read_fraction(app, "powerlaw", hosts)[2] for app in APPS
+            ]
+            out[hosts] = sum(fractions) / len(fractions)
+        return out
+
+    averages_by_hosts = benchmark.pedantic(averages, rounds=1, iterations=1)
+    record(
+        __name__,
+        (
+            "average",
+            "powerlaw",
+            "4 -> 32",
+            "-",
+            "-",
+            f"{100 * averages_by_hosts[4]:.0f}% -> {100 * averages_by_hosts[32]:.0f}%",
+        ),
+    )
+    benchmark.extra_info.update(
+        {f"avg_fraction_{k}": round(v, 3) for k, v in averages_by_hosts.items()}
+    )
+    assert averages_by_hosts[32] < averages_by_hosts[4], (
+        "master-read locality dilutes as hosts grow (65% @4 -> 50% @32)"
+    )

@@ -1,0 +1,85 @@
+"""Partitioning-policy study (in the spirit of Gill et al. [40], cited §2.2).
+
+Kimbap "supports general partitioning policies" (Section 1); this bench
+quantifies what each policy costs: replication factor, request/broadcast
+traffic, and modeled time for a trans-vertex (CC-SV) and an
+adjacent-vertex (CC-LP) program on the power-law analog.
+
+Expected shapes: the Cartesian vertex-cut bounds hub replication and wins
+on power-law graphs at scale (why the paper picks it for CC/MSF/MIS);
+edge-cuts replicate hubs' full neighborhoods; the hybrid cut sits between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.algorithms import cc_lp, cc_sv
+from repro.cluster import Cluster
+from repro.eval.workloads import load_graph
+from repro.partition import POLICIES, partition
+
+FIGURE_TITLE = "Partitioning policies: replication, traffic, modeled time (powerlaw, 8 hosts)"
+FIGURE_HEADERS = (
+    "policy",
+    "app",
+    "replication",
+    "messages",
+    "kilobytes",
+    "comp(s)",
+    "comm(s)",
+    "total(s)",
+)
+
+HOSTS = 8
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("app_name,app", [("CC-SV", cc_sv), ("CC-LP", cc_lp)])
+def test_policy_cell(benchmark, policy, app_name, app, figure_report):
+    graph = load_graph("powerlaw")
+
+    def run_cell():
+        pgraph = partition(graph, HOSTS, policy)
+        cluster = Cluster(HOSTS, threads_per_host=48)
+        result = app(cluster, pgraph)
+        return pgraph, cluster, result
+
+    pgraph, cluster, result = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    elapsed = cluster.elapsed()
+    record(
+        __name__,
+        (
+            policy,
+            app_name,
+            round(pgraph.replication_factor(), 2),
+            cluster.log.total_messages(),
+            round(cluster.log.total_bytes() / 1024, 1),
+            round(elapsed.computation, 3),
+            round(elapsed.communication, 3),
+            round(elapsed.total, 3),
+        ),
+    )
+    benchmark.extra_info["replication"] = pgraph.replication_factor()
+    benchmark.extra_info["total_s"] = elapsed.total
+    # correctness is policy-independent
+    from repro.verify import check_components
+
+    check_components(graph, result.values)
+
+
+def test_cvc_bounds_replication(benchmark, figure_report):
+    """The vertex-cut's whole point on power-law inputs."""
+    graph = load_graph("powerlaw")
+
+    def factors():
+        return {
+            policy: partition(graph, HOSTS, policy).replication_factor()
+            for policy in POLICIES
+        }
+
+    by_policy = benchmark.pedantic(factors, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in by_policy.items()})
+    assert by_policy["cvc"] <= by_policy["oec"]
+    assert by_policy["hvc"] <= by_policy["iec"]

@@ -1,0 +1,87 @@
+"""Table 3: Galois (1 host) vs Kimbap (1 and 16 hosts) on medium graphs.
+
+Shapes to reproduce:
+
+* LV / CC-LP / MIS: Galois and Kimbap comparable on one host; Kimbap at
+  16 hosts clearly faster than Galois;
+* MSF / CC-SV: Galois wins on one host (asynchronous pointer jumping with
+  in-place atomics vs Kimbap's BSP staging);
+* LD: Kimbap wins even on one host (Galois' in-place atomic reductions
+  contend on subcluster properties; the paper's Galois run timed out).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.eval.harness import run_galois, run_kimbap
+
+FIGURE_TITLE = "Table 3: Galois vs Kimbap (modeled seconds)"
+FIGURE_HEADERS = ("app", "graph", "Galois 1h", "Kimbap 1h", "Kimbap 16h", "best")
+
+APPS = ("LV", "LD", "MSF", "CC-LP", "CC-SV", "MIS")
+GRAPHS = ("road", "powerlaw")
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("graph", GRAPHS)
+def test_table3_cell(benchmark, app, graph, figure_report):
+    def run_cell():
+        return (
+            run_galois(app, graph),
+            run_kimbap(app, graph, 1),
+            run_kimbap(app, graph, 16),
+        )
+
+    galois, kimbap_1, kimbap_16 = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    times = {
+        "Galois 1h": galois.total,
+        "Kimbap 1h": kimbap_1.total,
+        "Kimbap 16h": kimbap_16.total,
+    }
+    best = min(times, key=times.get)
+    record(
+        __name__,
+        (
+            app,
+            graph,
+            round(galois.total, 3),
+            round(kimbap_1.total, 3),
+            round(kimbap_16.total, 3),
+            best,
+        ),
+    )
+    benchmark.extra_info.update({k: round(v, 4) for k, v in times.items()})
+
+    if app in ("MSF", "CC-SV"):
+        assert galois.total < kimbap_1.total, (
+            f"async {app} must beat BSP {app} on one host (Table 3)"
+        )
+    if app == "LD":
+        assert min(kimbap_1.total, kimbap_16.total) < galois.total, (
+            "Kimbap LD must beat Galois LD (conflict-free vs atomic reductions)"
+        )
+    if app in ("LV", "CC-LP", "MIS"):
+        # "comparable" on one host, scaling wins beyond: Kimbap at 16 hosts
+        # must at least land in Galois' neighbourhood.
+        assert kimbap_16.total < 3 * galois.total, (
+            f"Kimbap {app} at 16 hosts must be comparable-or-better vs Galois"
+        )
+
+
+def test_table3_ld_conflict_blowup(benchmark, figure_report):
+    """Galois LD pays for atomic subcluster updates: its LD/LV ratio must
+    far exceed Kimbap's (the paper's Galois-LD run timed out entirely)."""
+
+    def ratios():
+        galois_ld = run_galois("LD", "powerlaw").total
+        galois_lv = run_galois("LV", "powerlaw").total
+        kimbap_ld = run_kimbap("LD", "powerlaw", 1).total
+        kimbap_lv = run_kimbap("LV", "powerlaw", 1).total
+        return galois_ld / galois_lv, kimbap_ld / kimbap_lv
+
+    galois_ratio, kimbap_ratio = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    benchmark.extra_info["galois_ld_over_lv"] = round(galois_ratio, 2)
+    benchmark.extra_info["kimbap_ld_over_lv"] = round(kimbap_ratio, 2)
+    assert galois_ratio > 3 * kimbap_ratio

@@ -1,0 +1,66 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module accumulates :class:`RunResult` rows into a
+module-level registry; the ``figure_report`` fixture prints the assembled
+paper-style table after the module's cells all ran. Wall-clock timings from
+pytest-benchmark measure the simulator itself; the *modeled* seconds (the
+paper-comparable numbers) are attached as ``extra_info`` and printed in the
+report tables.
+
+Set ``REPRO_BENCH_FAST=1`` to run a reduced sweep (fewer host counts), and
+``REPRO_BENCH_SCALE`` to grow/shrink the workload graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+_RESULTS: dict[str, list] = defaultdict(list)
+
+
+def record(module: str, result) -> None:
+    _RESULTS[module].append(result)
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def host_counts(full: tuple[int, ...], fast: tuple[int, ...]) -> tuple[int, ...]:
+    return fast if fast_mode() else full
+
+
+@pytest.fixture(scope="module")
+def figure_report(request):
+    """Yields the module's row registry; prints the table afterwards."""
+    module = request.module.__name__
+    yield _RESULTS[module]
+    rows = _RESULTS[module]
+    if not rows:
+        return
+    from repro.eval.reporting import format_table
+
+    printable = []
+    for row in rows:
+        if hasattr(row, "row"):
+            printable.append(row.row())
+        else:
+            printable.append(row)
+    title = getattr(request.module, "FIGURE_TITLE", module)
+    headers = getattr(
+        request.module,
+        "FIGURE_HEADERS",
+        ("system", "app", "graph", "hosts", "comp(s)", "comm(s)", "total(s)"),
+    )
+    text = f"\n\n===== {title} =====\n" + format_table(headers, printable) + "\n"
+    print(text)
+    # Also persist: pytest captures stdout unless -s is passed, so every
+    # report lands under benchmarks/reports/ for EXPERIMENTS.md.
+    reports_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(reports_dir, exist_ok=True)
+    short = module.rsplit(".", 1)[-1]
+    with open(os.path.join(reports_dir, f"{short}.txt"), "w") as handle:
+        handle.write(text)

@@ -1,0 +1,96 @@
+"""The tutorial's custom algorithm, end to end (docs/TUTORIAL.md).
+
+Degree-weighted label spreading built directly on the node-property-map
+API, then label propagation written as Figure 4-style *source text* and
+pushed through the compiler. Shows the full surface a downstream user
+touches when writing a new algorithm.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from repro import verify
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.compiler import compile_program, parse_program
+from repro.compiler.interp import run_compiled
+from repro.core import MIN, SUM, NodePropMap
+from repro.graph import generators
+from repro.partition import partition
+from repro.runtime import kimbap_while, par_for
+
+
+def main() -> None:
+    graph = generators.powerlaw_like(8, seed=1)
+    pgraph = partition(graph, num_hosts=4, policy="cvc")
+    cluster = Cluster(num_hosts=4, threads_per_host=48)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, 4 hosts\n")
+
+    # -- global degrees via SUM reduction (vertex cut: no host knows them) --
+    degree = NodePropMap(cluster, pgraph, "degree")
+    label = NodePropMap(cluster, pgraph, "label")
+    degree.set_initial(lambda node: 0)
+    label.set_initial(lambda node: node)
+
+    def local_degree(ctx):
+        if ctx.part.degree(ctx.local):
+            degree.reduce(ctx.host, ctx.thread, ctx.node, ctx.part.degree(ctx.local), SUM)
+
+    par_for(cluster, pgraph, "all", local_degree, label="deg")
+    degree.reduce_sync()
+
+    # -- custom operator: adopt the min label among higher-degree neighbors --
+    label.pin_mirrors(invariant="none")
+    degree.pin_mirrors(invariant="none")
+
+    def round_body():
+        def operator(ctx):
+            my_label = label.read_local(ctx.host, ctx.local)
+            my_degree = degree.read_local(ctx.host, ctx.local)
+            for edge in ctx.edges():
+                dst_local = ctx.edge_dst_local(edge)
+                if degree.read_local(ctx.host, dst_local) > my_degree:
+                    neighbor_label = label.read_local(ctx.host, dst_local)
+                    if neighbor_label < my_label:
+                        label.reduce(
+                            ctx.host, ctx.thread, ctx.node, neighbor_label, MIN
+                        )
+
+        par_for(cluster, pgraph, "all", operator, label="spread")
+        label.reduce_sync()
+        label.broadcast_sync()
+
+    rounds = kimbap_while(label, round_body)
+    label.unpin_mirrors()
+    degree.unpin_mirrors()
+    remaining = len(set(label.snapshot().values()))
+    print(f"degree-weighted spreading: {rounds} rounds, {remaining} labels remain")
+
+    # -- finish the job with compiled label propagation from source text --
+    program = parse_program(
+        """
+        while_updated label {
+          parfor src in nodes {
+            l = label.read(src);
+            for e in edges(src) {
+              label.reduce(e.dst, l, min);
+            }
+          }
+        }
+        """,
+        name="spread_lp",
+    )
+    loop = compile_program(program)
+    print("\ncompiled continuation:")
+    print(loop.describe())
+    run_compiled(loop, cluster, pgraph, {"label": label})
+    verify.check_components(graph, label.snapshot())
+    print("\nfinal labels are exactly the connected components (verified)")
+    elapsed = cluster.elapsed()
+    print(
+        f"modeled: {elapsed.total:.3f}s "
+        f"({elapsed.computation:.3f} comp / {elapsed.communication:.3f} comm)"
+    )
+
+
+if __name__ == "__main__":
+    main()

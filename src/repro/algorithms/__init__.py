@@ -1,0 +1,49 @@
+"""The paper's seven graph algorithms on the Kimbap runtime (Table 2).
+
+===========  =======================  ==============  ============
+Algorithm    Problem                  Adjacent ops    Trans ops
+===========  =======================  ==============  ============
+LV           community detection      yes             yes
+LD           community detection      yes             yes
+MSF          minimum spanning forest  -               yes
+CC-LP        connected components     yes             -
+CC-SCLP      connected components     yes             yes
+CC-SV        connected components     -               yes
+MIS          maximal independent set  yes             -
+===========  =======================  ==============  ============
+
+Every algorithm is a function ``(cluster, pgraph, ...) -> AlgorithmResult``
+operating through the node-property map API only, so all of them run
+unchanged on every :class:`~repro.core.variants.RuntimeVariant`.
+"""
+
+from repro.algorithms.common import AlgorithmResult, OperatorKinds, ALGORITHM_OPERATORS
+from repro.algorithms.cc_lp import cc_lp
+from repro.algorithms.cc_sv import cc_sv
+from repro.algorithms.cc_sclp import cc_sclp
+from repro.algorithms.mis import mis
+from repro.algorithms.louvain import louvain
+from repro.algorithms.leiden import leiden
+from repro.algorithms.boruvka import boruvka_msf
+from repro.algorithms.kcore import k_core
+from repro.algorithms.vertex_cover import vertex_cover
+from repro.algorithms.sssp import bfs, sssp
+from repro.algorithms.pagerank import pagerank
+
+__all__ = [
+    "AlgorithmResult",
+    "OperatorKinds",
+    "ALGORITHM_OPERATORS",
+    "cc_lp",
+    "cc_sv",
+    "cc_sclp",
+    "mis",
+    "louvain",
+    "leiden",
+    "boruvka_msf",
+    "k_core",
+    "vertex_cover",
+    "bfs",
+    "sssp",
+    "pagerank",
+]

@@ -1,0 +1,74 @@
+"""CC-SCLP: shortcutting label propagation (Stergiou et al. [78]).
+
+Label propagation interleaved with pointer jumping: each round first
+min-reduces neighbor labels (adjacent-vertex), then shortcuts each node's
+label to its label's label (trans-vertex). The shortcut lets labels leap
+across many hops per round, which is why the paper measures ~14x over
+plain CC-LP on the high-diameter road graph.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import AlgorithmResult
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import MIN
+from repro.core.variants import RuntimeVariant
+from repro.partition.base import PartitionedGraph
+from repro.runtime.engine import kimbap_while, par_for
+
+
+def cc_sclp(
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+) -> AlgorithmResult:
+    """Run shortcutting label propagation; values are component ids."""
+    label = NodePropMap(cluster, pgraph, "sclp_label", variant=variant)
+    label.set_initial(lambda node: node)
+    label.pin_mirrors(invariant="none")
+
+    def round_body() -> None:
+        # Propagation step (adjacent): push my label to neighbors.
+        def propagate(ctx) -> None:
+            ctx.charge(1)
+            if not label.is_active(ctx.host, ctx.node):
+                return  # data-driven: only changed labels push
+            node_label = label.read_local(ctx.host, ctx.local)
+            for edge in ctx.edges():
+                dst = ctx.edge_dst(edge)
+                label.reduce(ctx.host, ctx.thread, dst, node_label, MIN)
+
+        par_for(cluster, pgraph, "all", propagate, label="sclp:prop")
+        label.reduce_sync()
+        label.broadcast_sync()
+
+        # Shortcut step (trans): label <- label(label).
+        def request(ctx) -> None:
+            node_label = label.read_local(ctx.host, ctx.local)
+            label.request(ctx.host, node_label)
+
+        par_for(
+            cluster,
+            pgraph,
+            "masters",
+            request,
+            kind=PhaseKind.REQUEST_COMPUTE,
+            label="sclp:req",
+        )
+        label.request_sync()
+
+        def shortcut(ctx) -> None:
+            node_label = label.read_local(ctx.host, ctx.local)
+            label_of_label = label.read(ctx.host, node_label)
+            if node_label != label_of_label:
+                label.reduce(ctx.host, ctx.thread, ctx.node, label_of_label, MIN)
+
+        par_for(cluster, pgraph, "masters", shortcut, label="sclp:short")
+        label.reduce_sync()
+        label.broadcast_sync()
+
+    rounds = kimbap_while(label, round_body)
+    label.unpin_mirrors()
+    return AlgorithmResult(name="CC-SCLP", values=label.snapshot(), rounds=rounds)

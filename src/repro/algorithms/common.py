@@ -1,0 +1,184 @@
+"""Shared pieces of the algorithm implementations.
+
+Includes the result type, the Table 2 operator classification, the shortcut
+(pointer-jumping) kernel reused by CC-SV / CC-SCLP / MSF, and the graph
+coarsening step shared by Louvain and Leiden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import MIN, ReduceOp
+from repro.graph.csr import Graph
+from repro.partition.base import PartitionedGraph
+from repro.runtime.engine import par_for
+
+# Single-writer assignment expressed as a reduction: only ever reduce a key
+# from one site per round (e.g. a node updating its *own* cluster id).
+OVERWRITE = ReduceOp("overwrite", lambda old, new: new)
+
+
+@dataclass
+class AlgorithmResult:
+    """Uniform output: per-node values plus algorithm-specific stats.
+
+    ``stats`` holds scalars (modularity, set size, ...); ``extra`` holds
+    structured outputs such as the MSF edge list.
+    """
+
+    name: str
+    values: dict[int, Any]
+    rounds: int
+    stats: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OperatorKinds:
+    """Table 2 row: which operator kinds an application uses."""
+
+    adjacent_vertex: bool
+    trans_vertex: bool
+
+
+ALGORITHM_OPERATORS: dict[str, OperatorKinds] = {
+    "LV": OperatorKinds(adjacent_vertex=True, trans_vertex=True),
+    "LD": OperatorKinds(adjacent_vertex=True, trans_vertex=True),
+    "MSF": OperatorKinds(adjacent_vertex=False, trans_vertex=True),
+    "CC-LP": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    "CC-SCLP": OperatorKinds(adjacent_vertex=True, trans_vertex=True),
+    "CC-SV": OperatorKinds(adjacent_vertex=False, trans_vertex=True),
+    "MIS": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    # extension applications beyond the paper's seven
+    "K-CORE": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    "VERTEX-COVER": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    "BFS": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    "SSSP": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+    "PR": OperatorKinds(adjacent_vertex=True, trans_vertex=False),
+}
+
+
+def shortcut_until_flat(
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    parent: NodePropMap,
+    max_rounds: int = 100000,
+) -> int:
+    """Pointer jumping (Figure 8's compiled shortcut) until the forest is flat.
+
+    Each round: a request ParFor over master nodes reads each node's parent
+    and requests the grandparent; after request-sync, the main ParFor
+    min-reduces the grandparent onto the node. The first request ParFor of
+    the naive compilation (requesting the node's own parent) is elided -
+    master properties are always local.
+    """
+    rounds = 0
+    while True:
+        parent.reset_updated()
+
+        def request_body(ctx):
+            node_parent = parent.read_local(ctx.host, ctx.local)
+            parent.request(ctx.host, node_parent)
+
+        par_for(
+            cluster,
+            pgraph,
+            "masters",
+            request_body,
+            kind=PhaseKind.REQUEST_COMPUTE,
+            label="shortcut:req",
+        )
+        parent.request_sync()
+
+        def shortcut_body(ctx):
+            node_parent = parent.read_local(ctx.host, ctx.local)
+            grand_parent = parent.read(ctx.host, node_parent)
+            if node_parent != grand_parent:
+                parent.reduce(ctx.host, ctx.thread, ctx.node, grand_parent, MIN)
+
+        par_for(cluster, pgraph, "masters", shortcut_body, label="shortcut")
+        parent.reduce_sync()
+        if parent.pinned:
+            parent.broadcast_sync()
+        rounds += 1
+        if not parent.is_updated():
+            return rounds
+        if rounds >= max_rounds:
+            raise RuntimeError("shortcut did not converge")
+
+
+def weighted_degrees(graph: Graph) -> np.ndarray:
+    """Node strengths: row sums of the weighted adjacency (self-loops count)."""
+    if graph.weights is None:
+        return graph.out_degrees().astype(np.float64)
+    strengths = np.zeros(graph.num_nodes)
+    np.add.at(strengths, graph.edge_sources(), graph.weights)
+    return strengths
+
+
+def modularity(graph: Graph, labels: np.ndarray, gamma: float = 1.0) -> float:
+    """Newman-Girvan modularity of a node -> community assignment.
+
+    ``graph`` is symmetrized (every undirected edge stored twice), so the
+    total directed weight is ``2m`` directly.
+    """
+    weights = graph.weights if graph.weights is not None else np.ones(graph.num_edges)
+    two_m = float(weights.sum())
+    if two_m == 0:
+        return 0.0
+    srcs = graph.edge_sources()
+    internal = weights[labels[srcs] == labels[graph.indices]].sum()
+    strengths = weighted_degrees(graph)
+    totals: dict[int, float] = {}
+    for node, strength in enumerate(strengths):
+        label = int(labels[node])
+        totals[label] = totals.get(label, 0.0) + float(strength)
+    expected = sum(total * total for total in totals.values()) / (two_m * two_m)
+    return float(internal / two_m - gamma * expected)
+
+
+def coarsen(
+    graph: Graph, labels: np.ndarray, cluster: Cluster | None = None,
+    pgraph: PartitionedGraph | None = None,
+) -> tuple[Graph, np.ndarray]:
+    """Aggregate nodes by label into a weighted coarse graph.
+
+    Returns the coarse graph and, for each fine node, its coarse node id.
+    Parallel directed edges are summed; intra-community edges become
+    self-loops (keeping strengths exact for modularity at the next level).
+    When a cluster is given, the per-edge aggregation work plus an
+    all-to-all exchange of coarse edges is charged, mirroring how both Vite
+    and Kimbap rebuild the coarse graph each phase.
+    """
+    unique_labels, coarse_of = np.unique(labels, return_inverse=True)
+    num_coarse = unique_labels.size
+    srcs = coarse_of[graph.edge_sources()]
+    dsts = coarse_of[graph.indices]
+    weights = graph.weights if graph.weights is not None else np.ones(graph.num_edges)
+    keys = srcs * num_coarse + dsts
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    boundaries = np.ones(keys_sorted.size, dtype=bool)
+    boundaries[1:] = keys_sorted[1:] != keys_sorted[:-1]
+    group = np.cumsum(boundaries) - 1
+    summed = np.zeros(int(group[-1]) + 1 if keys_sorted.size else 0)
+    np.add.at(summed, group, weights[order])
+    first = order[boundaries]
+    coarse = Graph.from_arrays(num_coarse, srcs[first], dsts[first], summed)
+    if cluster is not None and pgraph is not None:
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE, label="coarsen"):
+            for part in pgraph.parts:
+                cluster.counters(part.host_id).edge_iters += part.num_edges()
+        with cluster.phase(PhaseKind.REDUCE_SYNC, label="coarsen"):
+            per_host = coarse.num_edges // max(cluster.num_hosts, 1) + 1
+            for src in range(cluster.num_hosts):
+                for dst in range(cluster.num_hosts):
+                    cluster.network.send(src, dst, 24 * per_host // cluster.num_hosts + 8)
+    return coarse, coarse_of

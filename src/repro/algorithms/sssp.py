@@ -1,0 +1,87 @@
+"""SSSP / BFS: data-driven Bellman-Ford (adjacent-vertex).
+
+Part of the standard distributed-graph suite (Gluon's evaluation runs
+bfs/cc/pr/sssp); included here as additional adjacent-vertex programs on
+the node-property map. Push-style: a node whose distance improved last
+round relaxes its out-edges (``dist(dst) <- min(dist(dst), dist(src) +
+w)``). The activity tracker keeps per-round work proportional to the
+frontier, and BFS is the unit-weight special case whose round count equals
+the eccentricity of the source.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.common import AlgorithmResult
+from repro.cluster.cluster import Cluster
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import MIN
+from repro.core.variants import RuntimeVariant
+from repro.partition.base import PartitionedGraph
+from repro.runtime.engine import kimbap_while, par_for
+
+UNREACHED = math.inf
+
+
+def sssp(
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    source: int = 0,
+    variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    unit_weights: bool = False,
+) -> AlgorithmResult:
+    """Single-source shortest paths; values are distances (inf = unreached)."""
+    if not 0 <= source < pgraph.num_nodes:
+        raise ValueError(f"source {source} out of range")
+    dist = NodePropMap(cluster, pgraph, "sssp_dist", variant=variant)
+    dist.set_initial(lambda node: 0.0 if node == source else UNREACHED)
+    dist.pin_mirrors(invariant="none")
+
+    def round_body() -> None:
+        def relax(ctx) -> None:
+            if ctx.part.degree(ctx.local) == 0:
+                return
+            ctx.charge(1)
+            if not dist.is_active(ctx.host, ctx.node):
+                return
+            my_dist = dist.read_local(ctx.host, ctx.local)
+            if my_dist == UNREACHED:
+                return
+            for edge in ctx.edges():
+                weight = 1.0 if unit_weights else ctx.edge_weight(edge)
+                dist.reduce(
+                    ctx.host, ctx.thread, ctx.edge_dst(edge), my_dist + weight, MIN
+                )
+
+        par_for(cluster, pgraph, "all", relax, label="sssp")
+        dist.reduce_sync()
+        dist.broadcast_sync()
+
+    rounds = kimbap_while(dist, round_body)
+    dist.unpin_mirrors()
+    values = dist.snapshot()
+    reached = sum(1 for v in values.values() if v != UNREACHED)
+    return AlgorithmResult(
+        name="SSSP",
+        values=values,
+        rounds=rounds,
+        stats={"reached": float(reached)},
+    )
+
+
+def bfs(
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    source: int = 0,
+    variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+) -> AlgorithmResult:
+    """BFS levels from ``source``: unit-weight SSSP with integer levels."""
+    result = sssp(cluster, pgraph, source=source, variant=variant, unit_weights=True)
+    levels = {
+        node: (int(value) if value != UNREACHED else UNREACHED)
+        for node, value in result.values.items()
+    }
+    return AlgorithmResult(
+        name="BFS", values=levels, rounds=result.rounds, stats=dict(result.stats)
+    )

@@ -1,0 +1,43 @@
+"""Faithful-mechanism reimplementations of the paper's comparison systems.
+
+* :mod:`repro.baselines.vite` - Vite [38]: hand-optimized distributed
+  Louvain. SGR communication, but a *single-threaded* inspection phase
+  building one shared map per host, and atomic reductions from all threads
+  into that shared map (the two mechanisms Section 6.4 blames for Vite
+  losing to Kimbap by ~4x).
+* :mod:`repro.baselines.gluon` - Gluon [27]: the state-of-the-art
+  adjacent-vertex system. Mirrors always cached, reductions applied with
+  atomics directly into the cached values during compute, partitioning-
+  invariant communication elisions. Kimbap-LP must be comparable to it.
+* :mod:`repro.baselines.galois` - Galois [64]: single-host shared-memory
+  asynchronous runtime. In-place atomic updates are immediately visible,
+  so pointer jumping converges in a handful of sweeps (Table 3's Galois
+  wins on MSF/CC-SV) while Leiden's subcluster updates contend heavily
+  (Table 3's Galois loss on LD).
+"""
+
+from repro.baselines.vite import vite_louvain
+from repro.baselines.gluon import gluon_bfs, gluon_cc_lp, gluon_sssp
+from repro.baselines.async_mode import async_cc_lp
+from repro.baselines.galois import (
+    galois_cc_lp,
+    galois_cc_sv,
+    galois_louvain,
+    galois_leiden,
+    galois_mis,
+    galois_msf,
+)
+
+__all__ = [
+    "vite_louvain",
+    "gluon_cc_lp",
+    "gluon_bfs",
+    "gluon_sssp",
+    "async_cc_lp",
+    "galois_cc_lp",
+    "galois_cc_sv",
+    "galois_louvain",
+    "galois_leiden",
+    "galois_mis",
+    "galois_msf",
+]

@@ -1,0 +1,26 @@
+"""Simulated distributed cluster.
+
+The paper runs on up to 256 MPI hosts with 48 threads each. Here the cluster
+is simulated inside one process: hosts are objects, threads are *virtual*
+(work is dealt to them deterministically and conflicts are counted, not
+raced), and the network is an alpha-beta cost model fed by per-phase message
+accounting. See DESIGN.md section 1 for why this substitution preserves the
+paper's measured effects.
+"""
+
+from repro.cluster.metrics import Counters, PhaseKind, PhaseRecord, MetricsLog
+from repro.cluster.network import Network
+from repro.cluster.costmodel import CostModel, ModeledTime
+from repro.cluster.cluster import Cluster, Host
+
+__all__ = [
+    "Counters",
+    "PhaseKind",
+    "PhaseRecord",
+    "MetricsLog",
+    "Network",
+    "CostModel",
+    "ModeledTime",
+    "Cluster",
+    "Host",
+]

@@ -1,0 +1,154 @@
+"""The simulated cluster: hosts, virtual threads, and phase scoping.
+
+All computation in the reproduction runs "on" a :class:`Cluster`. Code that
+models per-host parallel work opens a phase (:meth:`Cluster.phase`), then
+records events against per-host counters. Virtual threads exist only as a
+deterministic dealing function (:func:`static_thread`) - matching OpenMP
+static scheduling - used both by the conflict-free reduction (which keys
+thread-local maps by thread id) and by the conflict accounting of the
+shared-map variants.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cluster.costmodel import CostModel, ModeledTime
+from repro.cluster.metrics import Counters, MetricsLog, PhaseKind, PhaseRecord
+from repro.cluster.network import Network
+
+
+def static_thread(index: int, total: int, threads: int) -> int:
+    """Deal item ``index`` of ``total`` to a virtual thread, OpenMP-static style."""
+    if total <= 0:
+        return 0
+    if index < 0 or index >= total:
+        raise IndexError(f"item {index} out of range for {total} items")
+    return min(index * threads // total, threads - 1)
+
+
+class SimulatedOutOfMemory(MemoryError):
+    """A host's tracked property-slot footprint exceeded the cluster's
+    configured memory limit (models the paper's LD OOM cells)."""
+
+
+@dataclass(frozen=True)
+class Host:
+    """One simulated machine (48 hardware threads on Stampede2 SKX)."""
+
+    host_id: int
+    threads: int
+
+
+class Cluster:
+    """A set of simulated hosts plus the metrics log they write into."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        threads_per_host: int = 48,
+        cost_model: CostModel | None = None,
+        memory_limit_slots: int | None = None,
+    ) -> None:
+        if num_hosts < 1:
+            raise ValueError("need at least one host")
+        if threads_per_host < 1:
+            raise ValueError("need at least one thread per host")
+        self.num_hosts = num_hosts
+        self.threads_per_host = threads_per_host
+        self.hosts = [Host(i, threads_per_host) for i in range(num_hosts)]
+        self.cost_model = cost_model or CostModel()
+        self.network = Network(num_hosts)
+        self.log = MetricsLog(num_hosts)
+        self._current: PhaseRecord | None = None
+        # Memory accounting: property maps (and baselines) report their
+        # per-host live value-slot footprint; the cluster tracks the peak
+        # (the paper's max-RSS measure) and, with a limit configured,
+        # raises SimulatedOutOfMemory like the paper's LD OOM cells.
+        self.memory_limit_slots = memory_limit_slots
+        self._live_slots: dict[tuple[int, str], int] = {}
+        self.peak_memory_slots = [0] * num_hosts
+
+    # -- phase scoping -----------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase(
+        self, kind: PhaseKind, parallel: bool = True, label: str = ""
+    ) -> Iterator[PhaseRecord]:
+        """Open a phase; all events recorded inside belong to it.
+
+        Phases do not nest: the BSP execution model is a flat sequence of
+        phases inside each round.
+        """
+        if self._current is not None:
+            raise RuntimeError(
+                f"phase {self._current.kind} is still open; phases do not nest"
+            )
+        record = self.log.start_phase(kind, parallel=parallel, label=label)
+        self._current = record
+        self.network.bind_phase(record)
+        try:
+            yield record
+        finally:
+            self._current = None
+            self.network.bind_phase(None)
+
+    def counters(self, host_id: int) -> Counters:
+        """The current phase's counters for ``host_id``."""
+        if self._current is None:
+            raise RuntimeError("no phase is open")
+        return self._current.counters[host_id]
+
+    @property
+    def in_phase(self) -> bool:
+        return self._current is not None
+
+    # -- results ------------------------------------------------------------
+
+    def elapsed(self) -> ModeledTime:
+        return self.cost_model.time(self.log, self.threads_per_host)
+
+    def elapsed_by_kind(self) -> dict[PhaseKind, ModeledTime]:
+        return self.cost_model.time_by_kind(self.log, self.threads_per_host)
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (e.g. to exclude loading/partitioning)."""
+        if self._current is not None:
+            raise RuntimeError("cannot reset inside an open phase")
+        self.log = MetricsLog(self.num_hosts)
+
+    def thread_of(self, index: int, total: int) -> int:
+        return static_thread(index, total, self.threads_per_host)
+
+    # -- memory accounting ---------------------------------------------------
+
+    def track_memory(self, host_id: int, owner: str, slots: int) -> None:
+        """Report ``owner``'s current value-slot footprint on a host.
+
+        Owners (property maps, baseline kernels) call this whenever their
+        footprint changes; the per-host total's peak is the modeled max
+        RSS. Exceeding ``memory_limit_slots`` aborts the run the way the
+        paper's out-of-memory cells do.
+        """
+        self._live_slots[(host_id, owner)] = slots
+        total = sum(
+            amount for (host, _), amount in self._live_slots.items() if host == host_id
+        )
+        if total > self.peak_memory_slots[host_id]:
+            self.peak_memory_slots[host_id] = total
+        if self.memory_limit_slots is not None and total > self.memory_limit_slots:
+            raise SimulatedOutOfMemory(
+                f"host {host_id} needs {total} value slots "
+                f"(limit {self.memory_limit_slots})"
+            )
+
+    def release_memory(self, owner: str) -> None:
+        """Drop an owner's footprint on every host (e.g. a map going away)."""
+        for key in [k for k in self._live_slots if k[1] == owner]:
+            del self._live_slots[key]
+
+    def max_memory_slots(self) -> int:
+        """Peak per-host footprint across the cluster (the max-RSS analog)."""
+        return max(self.peak_memory_slots, default=0)

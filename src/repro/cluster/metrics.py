@@ -1,0 +1,134 @@
+"""Event counters: what the simulation measures instead of wall-clock time.
+
+Every phase of every BSP round produces one :class:`PhaseRecord` holding a
+:class:`Counters` per host plus per-host message/byte totals. The cost model
+(:mod:`repro.cluster.costmodel`) prices these records into modeled seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+
+
+class PhaseKind(enum.Enum):
+    """The four BSP phase kinds of Section 4.1, plus baseline-specific ones."""
+
+    REQUEST_COMPUTE = "request-compute"
+    REQUEST_SYNC = "request-sync"
+    REDUCE_COMPUTE = "reduce-compute"
+    REDUCE_SYNC = "reduce-sync"
+    BROADCAST_SYNC = "broadcast-sync"
+    INIT = "init"
+    SERIAL = "serial"  # e.g. Vite's single-threaded inspection phase
+
+    @property
+    def is_sync(self) -> bool:
+        return self in (
+            PhaseKind.REQUEST_SYNC,
+            PhaseKind.REDUCE_SYNC,
+            PhaseKind.BROADCAST_SYNC,
+        )
+
+
+@dataclass
+class Counters:
+    """Additive per-host event counters for one phase.
+
+    ``vector_reads`` are O(1) dense-array reads (the GAR master layout),
+    ``binsearch_steps`` are probes of the sorted remote arrays,
+    ``hash_probes`` are hash-map lookups (the non-GAR layouts),
+    ``cas_attempts``/``cas_conflicts`` price shared-map and key-value-store
+    reductions, ``combine_ops`` is the CF thread-local-map combining step,
+    and ``kv_string_ops`` is the extra per-operation cost of the
+    key-value-store's string keys (Section 6.4).
+    """
+
+    node_iters: int = 0
+    edge_iters: int = 0
+    local_ops: int = 0
+    # Free statistics counters (zero cost weight): how many property reads
+    # hit master vs non-master properties, for the Section 4.2 locality
+    # measurement that motivates GAR.
+    reads_master: int = 0
+    reads_remote: int = 0
+    vector_reads: int = 0
+    binsearch_steps: int = 0
+    hash_probes: int = 0
+    reduce_calls: int = 0
+    cas_attempts: int = 0
+    cas_conflicts: int = 0
+    combine_ops: int = 0
+    materialize_ops: int = 0
+    kv_string_ops: int = 0
+
+    def add(self, other: "Counters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def total_events(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class PhaseRecord:
+    """One executed phase: counters and traffic for every host."""
+
+    kind: PhaseKind
+    parallel: bool
+    counters: list[Counters]
+    msgs_sent: list[int]
+    bytes_sent: list[int]
+    msgs_recv: list[int]
+    bytes_recv: list[int]
+    label: str = ""
+
+    @classmethod
+    def empty(cls, kind: PhaseKind, num_hosts: int, parallel: bool, label: str = "") -> "PhaseRecord":
+        return cls(
+            kind=kind,
+            parallel=parallel,
+            counters=[Counters() for _ in range(num_hosts)],
+            msgs_sent=[0] * num_hosts,
+            bytes_sent=[0] * num_hosts,
+            msgs_recv=[0] * num_hosts,
+            bytes_recv=[0] * num_hosts,
+            label=label,
+        )
+
+
+@dataclass
+class MetricsLog:
+    """Append-only log of phase records for one measured region."""
+
+    num_hosts: int
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    def start_phase(self, kind: PhaseKind, parallel: bool = True, label: str = "") -> PhaseRecord:
+        record = PhaseRecord.empty(kind, self.num_hosts, parallel, label)
+        self.phases.append(record)
+        return record
+
+    def total_counters(self) -> Counters:
+        total = Counters()
+        for phase in self.phases:
+            for counters in phase.counters:
+                total.add(counters)
+        return total
+
+    def total_messages(self) -> int:
+        return sum(sum(phase.msgs_sent) for phase in self.phases)
+
+    def total_bytes(self) -> int:
+        return sum(sum(phase.bytes_sent) for phase in self.phases)
+
+    def counters_by_kind(self) -> dict[PhaseKind, Counters]:
+        by_kind: dict[PhaseKind, Counters] = {}
+        for phase in self.phases:
+            bucket = by_kind.setdefault(phase.kind, Counters())
+            for counters in phase.counters:
+                bucket.add(counters)
+        return by_kind

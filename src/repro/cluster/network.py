@@ -1,0 +1,51 @@
+"""Message accounting for the simulated interconnect.
+
+Values move between hosts as ordinary Python data (the simulation is
+in-process), so the network's only job is to *count*: every logical message
+records its size against the sender's and receiver's totals in the current
+phase. The cost model later prices a phase's traffic with an alpha-beta
+model (latency per message + volume / bandwidth).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.metrics import PhaseRecord
+
+
+class Network:
+    """Counts messages and bytes against the currently-open phase record."""
+
+    def __init__(self, num_hosts: int) -> None:
+        self.num_hosts = num_hosts
+        self._phase: PhaseRecord | None = None
+
+    def bind_phase(self, phase: PhaseRecord | None) -> None:
+        self._phase = phase
+
+    def send(self, src: int, dst: int, nbytes: int) -> None:
+        """Record one message of ``nbytes`` from ``src`` to ``dst``.
+
+        Self-sends are free: data already on the host is not communicated,
+        matching the paper's per-pair message accounting.
+        """
+        if src == dst:
+            return
+        if self._phase is None:
+            raise RuntimeError("network used outside of a phase")
+        self._phase.msgs_sent[src] += 1
+        self._phase.bytes_sent[src] += nbytes
+        self._phase.msgs_recv[dst] += 1
+        self._phase.bytes_recv[dst] += nbytes
+
+    def all_to_all(self, nbytes_by_pair: dict[tuple[int, int], int]) -> None:
+        """Record one message per (src, dst) pair present in the mapping."""
+        for (src, dst), nbytes in nbytes_by_pair.items():
+            self.send(src, dst, nbytes)
+
+    def allreduce(self, nbytes: int) -> None:
+        """Record a small collective (e.g. the BoolReducer / IsUpdated vote).
+
+        Modeled as a ring: every host sends one message of ``nbytes``.
+        """
+        for host in range(self.num_hosts):
+            self.send(host, (host + 1) % self.num_hosts, nbytes)

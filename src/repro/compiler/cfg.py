@@ -1,0 +1,84 @@
+"""Statement-level control-flow graphs (Section 2.3).
+
+Each CFG node is one statement occurrence; ``ENTRY`` and ``EXIT`` are
+synthetic. ``If`` statements branch to both arms; ``ForEdges`` headers
+branch into the loop body (which loops back) and past the loop (zero
+iterations). The structured IR guarantees reducible CFGs, but the
+dominator analysis (:mod:`repro.compiler.dominators`) does not rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import ForEdges, If, Stmt
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFG:
+    """Control-flow graph over statement occurrences.
+
+    ``stmt_of[n]`` is the statement at node ``n`` (None for ENTRY/EXIT);
+    node ids are creation-ordered, so for the structured IR they follow
+    program order.
+    """
+
+    succ: list[list[int]] = field(default_factory=lambda: [[], []])
+    stmt_of: list[Stmt | None] = field(default_factory=lambda: [None, None])
+
+    def add_node(self, stmt: Stmt) -> int:
+        self.succ.append([])
+        self.stmt_of.append(stmt)
+        return len(self.succ) - 1
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.succ)
+
+    def predecessors(self) -> list[list[int]]:
+        preds: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for src, dsts in enumerate(self.succ):
+            for dst in dsts:
+                preds[dst].append(src)
+        return preds
+
+    def nodes_of(self, stmt: Stmt) -> list[int]:
+        """All occurrences of a statement object (by identity)."""
+        return [n for n, s in enumerate(self.stmt_of) if s is stmt]
+
+
+def build_cfg(body: tuple[Stmt, ...]) -> CFG:
+    """Build the CFG of an operator body (ENTRY -> body -> EXIT)."""
+    cfg = CFG()
+    frontier = _build_block(cfg, body, [ENTRY])
+    for node in frontier:
+        cfg.add_edge(node, EXIT)
+    return cfg
+
+
+def _build_block(cfg: CFG, body: tuple[Stmt, ...], preds: list[int]) -> list[int]:
+    """Wire a statement sequence after ``preds``; returns the exit frontier."""
+    frontier = preds
+    for stmt in body:
+        node = cfg.add_node(stmt)
+        for pred in frontier:
+            cfg.add_edge(pred, node)
+        if isinstance(stmt, If):
+            then_frontier = _build_block(cfg, stmt.then, [node])
+            else_frontier = _build_block(cfg, stmt.orelse, [node]) if stmt.orelse else [node]
+            frontier = then_frontier + else_frontier
+        elif isinstance(stmt, ForEdges):
+            body_frontier = _build_block(cfg, stmt.body, [node])
+            for tail in body_frontier:
+                cfg.add_edge(tail, node)  # back edge
+            frontier = [node]  # loop exits from the header (0..n iterations)
+        else:
+            frontier = [node]
+    return frontier

@@ -1,0 +1,183 @@
+"""Compilation driver: KimbapWhile -> CompiledLoop (Figure 8 shape).
+
+``compile_program`` applies, in order:
+
+1. operator analysis + cautiousness validation,
+2. master-nodes elision (no edge access -> iterate masters; drop request
+   phases whose key is the active node) when optimizing,
+3. adjacent-neighbors elision (all reads active/adjacent -> pin mirrors,
+   broadcast after reduce, drop all request phases) when optimizing,
+4. the split-operator/request transform for every remaining read,
+5. sync insertion: a RequestSync after each request ParFor, a ReduceSync
+   per reduced map after the main ParFor, BroadcastSync for pinned maps.
+
+With ``optimize=False`` (Figure 12's NO-OPT arm) every read - including
+reads of the active node and of adjacent neighbors - goes through a
+request ParFor chain, and all node proxies execute the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.analysis import (
+    ACTIVE,
+    ADJACENT,
+    OperatorAnalysis,
+    analyze_operator,
+    reads_in_dominance_order,
+)
+from repro.compiler.ir import KimbapWhile, MapRead, ParFor, walk
+from repro.compiler.transforms import build_request_parfor
+
+
+def coalesce_request_phases(phases: list["RequestPhase"]) -> list["RequestPhase"]:
+    """Merge consecutive *pure* request phases into one ParFor + sync wave.
+
+    A pure phase contains no map reads, so its request keys cannot depend
+    on an earlier phase's materialized values - running both ParFors in one
+    compute phase and syncing both maps afterwards is equivalent and saves
+    a full request-compute/request-sync round trip.
+    """
+    coalesced: list[RequestPhase] = []
+    for phase in phases:
+        if (
+            phase.pure
+            and coalesced
+            and coalesced[-1].pure
+            and coalesced[-1].par_for.iterator == phase.par_for.iterator
+        ):
+            previous = coalesced[-1]
+            merged_maps = previous.maps + tuple(
+                m for m in phase.maps if m not in previous.maps
+            )
+            coalesced[-1] = RequestPhase(
+                ParFor(
+                    previous.par_for.body + phase.par_for.body,
+                    iterator=previous.par_for.iterator,
+                ),
+                merged_maps,
+                pure=True,
+            )
+        else:
+            coalesced.append(phase)
+    return coalesced
+
+
+@dataclass(frozen=True)
+class RequestPhase:
+    """One request ParFor plus the map(s) whose RequestSync(s) follow it.
+
+    Usually one map; the coalescing optimization merges *pure* request
+    ParFors (no reads - their keys don't depend on earlier request waves)
+    into a single ParFor with several syncs, saving whole BSP sub-phases.
+    """
+
+    par_for: ParFor
+    maps: tuple[str, ...]
+    pure: bool = False
+
+    @property
+    def map(self) -> str:
+        """The single map, for the common un-coalesced case."""
+        if len(self.maps) != 1:
+            raise ValueError(f"phase syncs {len(self.maps)} maps, not one")
+        return self.maps[0]
+
+
+@dataclass
+class CompiledLoop:
+    """An executable BSP loop: the compiler's output (cf. Figure 8)."""
+
+    name: str
+    quiesce_maps: tuple[str, ...]
+    iterator: str  # "nodes" or "masters"
+    pinned: dict[str, str]  # map -> pin invariant
+    request_phases: list[RequestPhase]
+    body: ParFor
+    reduce_maps: tuple[str, ...]
+    broadcast_maps: tuple[str, ...]
+    reducers: tuple[str, ...]
+    analysis: OperatorAnalysis = field(repr=False, default=None)
+
+    def describe(self) -> str:
+        """A Figure 8-style summary of the generated code."""
+        lines = [f"KimbapWhile {self.name} over {self.iterator}:"]
+        for map_name, invariant in self.pinned.items():
+            lines.append(f"  {map_name}.PinMirrors({invariant!r})")
+        lines.append("  do:")
+        for phase in self.request_phases:
+            names = ", ".join(phase.maps)
+            lines.append(f"    ParFor({self.iterator}): ... {names}.Request(...)")
+            for map_name in phase.maps:
+                lines.append(f"    {map_name}.RequestSync()")
+        lines.append(f"    ParFor({self.iterator}): <operator>")
+        for map_name in self.reduce_maps:
+            lines.append(f"    {map_name}.ReduceSync()")
+        for map_name in self.broadcast_maps:
+            lines.append(f"    {map_name}.BroadcastSync()")
+        lines.append(
+            "  while " + " or ".join(f"{m}.IsUpdated()" for m in self.quiesce_maps)
+        )
+        for map_name in self.pinned:
+            lines.append(f"  {map_name}.UnpinMirrors()")
+        return "\n".join(lines)
+
+
+def compile_program(program: KimbapWhile, optimize: bool = True) -> CompiledLoop:
+    """Compile one KimbapWhile into an executable BSP loop."""
+    par_for = program.par_for
+    analysis = analyze_operator(par_for)
+    reads = reads_in_dominance_order(par_for)
+
+    # Master-nodes elision: operators that never touch edges compute the
+    # same updates on every proxy, so restrict to masters (Section 5.2).
+    iterator = par_for.iterator
+    if optimize and analysis.masters_only_eligible:
+        iterator = "masters"
+
+    # Adjacent-neighbors elision: pin the maps whose reads are all to the
+    # active node / its neighbors, and broadcast instead of requesting.
+    pinned: dict[str, str] = {}
+    if optimize and analysis.accesses_edges and analysis.reads_are_adjacent:
+        for access in analysis.reads:
+            # 'none' feeds every mirror: safe for operators that read the
+            # active node on proxies without local out-edges.
+            pinned.setdefault(access.map, "none")
+
+    request_phases: list[RequestPhase] = []
+    for read in reads:
+        if not isinstance(read, MapRead):
+            continue
+        kind = next(a.kind for a in analysis.reads if a.stmt is read)
+        if optimize:
+            if kind == ACTIVE and iterator == "masters":
+                continue  # provably a local master: request elided
+            if read.map in pinned and kind in (ACTIVE, ADJACENT):
+                continue  # pinned mirror: fed by broadcast
+        request_parfor = build_request_parfor(
+            par_for, read, iterator, prune=optimize
+        )
+        pure = not any(
+            isinstance(stmt, MapRead) for stmt in walk(request_parfor.body)
+        )
+        request_phases.append(
+            RequestPhase(request_parfor, (read.map,), pure=pure)
+        )
+    if optimize:
+        request_phases = coalesce_request_phases(request_phases)
+
+    reduce_maps = tuple(analysis.maps_reduced)
+    broadcast_maps = tuple(m for m in reduce_maps if m in pinned)
+    return CompiledLoop(
+        name=program.name,
+        quiesce_maps=program.maps,
+        iterator=iterator,
+        pinned=pinned,
+        request_phases=request_phases,
+        body=ParFor(par_for.body, iterator=iterator),
+        reduce_maps=reduce_maps,
+        broadcast_maps=broadcast_maps,
+        reducers=tuple(analysis.reducers_used),
+        analysis=analysis,
+    )

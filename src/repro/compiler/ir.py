@@ -1,0 +1,226 @@
+"""The statement IR for vertex-centric operators.
+
+Programs are what a Kimbap user writes (Figure 4): a ``KimbapWhile`` over a
+``ParFor`` whose body reads node-property maps, iterates the active node's
+edges, and issues reductions. Expressions and statements are immutable
+dataclasses so compiler passes can share subtrees freely; ``MapRequest`` is
+compiler-inserted and never written by users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.reducers import ReduceOp
+
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Const:
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ActiveNode:
+    """The ParFor induction variable: the active node's global id."""
+
+    def __str__(self) -> str:
+        return "node"
+
+
+@dataclass(frozen=True)
+class EdgeDst:
+    """Destination node of the edge bound by the enclosing ForEdges."""
+
+    edge_var: str
+
+    def __str__(self) -> str:
+        return f"{self.edge_var}.dst"
+
+
+@dataclass(frozen=True)
+class EdgeWeight:
+    edge_var: str
+
+    def __str__(self) -> str:
+        return f"{self.edge_var}.weight"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / > < >= <= == != and or min max
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    expr: "Expr"
+
+    def __str__(self) -> str:
+        return f"(not {self.expr})"
+
+
+Expr = Union[Const, Var, ActiveNode, EdgeDst, EdgeWeight, BinOp, Not]
+
+
+def expr_vars(expr: Expr) -> set[str]:
+    """Free variable names (including edge vars) used by an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, (EdgeDst, EdgeWeight)):
+        return {expr.edge_var}
+    if isinstance(expr, BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    if isinstance(expr, Not):
+        return expr_vars(expr.expr)
+    return set()
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True)
+class Assign:
+    var: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class MapRead:
+    var: str
+    map: str
+    key: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} = {self.map}.Read({self.key})"
+
+
+@dataclass(frozen=True)
+class MapRequest:
+    """Compiler-inserted: mark ``key`` for the next RequestSync."""
+
+    map: str
+    key: Expr
+
+    def __str__(self) -> str:
+        return f"{self.map}.Request({self.key})"
+
+
+@dataclass(frozen=True)
+class MapReduce:
+    map: str
+    key: Expr
+    value: Expr
+    op: ReduceOp
+
+    def __str__(self) -> str:
+        return f"{self.map}.Reduce({self.key}, {self.value}, {self.op.name})"
+
+
+@dataclass(frozen=True)
+class MapSet:
+    map: str
+    key: Expr
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.map}.Set({self.key}, {self.value})"
+
+
+@dataclass(frozen=True)
+class ReducerReduce:
+    """Reduce into a (distributed) BoolReducer - Figure 4's work_done."""
+
+    reducer: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.reducer}.Reduce({self.value})"
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: tuple["Stmt", ...]
+    orelse: tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        return f"if {self.cond}: ..."
+
+
+@dataclass(frozen=True)
+class ForEdges:
+    """Iterate the edges of the active node (the only edges accessible)."""
+
+    edge_var: str
+    body: tuple["Stmt", ...]
+
+    def __str__(self) -> str:
+        return f"for {self.edge_var} in edges(node): ..."
+
+
+Stmt = Union[Assign, MapRead, MapRequest, MapReduce, MapSet, ReducerReduce, If, ForEdges]
+
+WRITE_STMTS = (MapReduce, MapSet, ReducerReduce)
+
+
+def stmts(*items: Stmt) -> tuple[Stmt, ...]:
+    """Small helper so program definitions read as blocks."""
+    return tuple(items)
+
+
+# ------------------------------------------------------------------ programs
+
+
+@dataclass(frozen=True)
+class ParFor:
+    """A parallel loop over nodes. ``iterator`` is "nodes" (all proxies; the
+    user-facing form) or "masters" (compiler-restricted, Section 5.2)."""
+
+    body: tuple[Stmt, ...]
+    iterator: str = "nodes"
+
+    def __post_init__(self) -> None:
+        if self.iterator not in ("nodes", "masters"):
+            raise ValueError(f"unknown iterator {self.iterator!r}")
+
+
+@dataclass(frozen=True)
+class KimbapWhile:
+    """Figure 3's construct: repeat the ParFor until ``maps`` stop updating."""
+
+    maps: tuple[str, ...]
+    par_for: ParFor
+    name: str = "loop"
+
+
+def walk(body: tuple[Stmt, ...]):
+    """Yield every statement in a body, depth-first, in program order."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk(stmt.then)
+            yield from walk(stmt.orelse)
+        elif isinstance(stmt, ForEdges):
+            yield from walk(stmt.body)

@@ -1,0 +1,470 @@
+"""Textual front-end: Figure 4-style source -> the statement IR.
+
+The paper's programs are written in a C++-flavored surface syntax; this
+parser accepts the equivalent Kimbap source so programs can live as text:
+
+.. code-block:: none
+
+    while_updated parent {
+      parfor src in nodes {
+        src_parent = parent.read(src);
+        for edge in edges(src) {
+          dst_parent = parent.read(edge.dst);
+          if (src_parent > dst_parent) {
+            work_done.reduce_or(true);
+            parent.reduce(src_parent, dst_parent, min);
+          }
+        }
+      }
+    }
+
+Grammar (recursive descent, one token of lookahead)::
+
+    program   := 'while_updated' ident (',' ident)* parfor
+    parfor    := 'parfor' ident 'in' 'nodes' block
+    block     := '{' stmt* '}'
+    stmt      := for | if | call ';' | assign ';'
+    for       := 'for' ident 'in' 'edges' '(' ident ')' block
+    if        := 'if' '(' expr ')' block ('else' block)?
+    call      := ident '.' ('reduce'|'set') '(' args ')'
+               | ident '.reduce_or' '(' expr ')'
+    assign    := ident '=' expr
+    expr      := or; the usual precedence ladder down to primary
+    primary   := number | 'true' | 'false' | ident ('.read(' expr ')' |
+                 '.dst' | '.weight')? | 'min('|'max(' expr ',' expr ')' |
+                 '(' expr ')'
+
+The active-node identifier (the parfor variable) parses to
+:class:`~repro.compiler.ir.ActiveNode`; ``<edge>.dst`` / ``<edge>.weight``
+to the edge expressions. Reduction operator names: ``min``, ``max``,
+``sum``, ``overwrite``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.algorithms.common import OVERWRITE
+from repro.compiler.ir import (
+    ActiveNode,
+    Assign,
+    BinOp,
+    Const,
+    EdgeDst,
+    EdgeWeight,
+    Expr,
+    ForEdges,
+    If,
+    KimbapWhile,
+    MapRead,
+    MapReduce,
+    MapSet,
+    Not,
+    ParFor,
+    ReducerReduce,
+    Stmt,
+    Var,
+)
+from repro.core.reducers import MAX, MIN, SUM
+
+REDUCE_OPS = {"min": MIN, "max": MAX, "sum": SUM, "overwrite": OVERWRITE}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<comment>//[^\n]*)"
+    r"|(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>==|!=|>=|<=|[{}();,.=><+\-*/])"
+    r")"
+)
+
+KEYWORDS = {
+    "while_updated", "parfor", "in", "nodes", "for", "edges", "if", "else",
+    "true", "false", "and", "or", "not", "min", "max",
+}
+
+
+class ParseError(SyntaxError):
+    """Source text does not conform to the Kimbap grammar."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "ident" | "op" | "eof"
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            remaining = source[position:].strip()
+            if not remaining:
+                break
+            raise ParseError(f"unexpected character {remaining[0]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "comment":
+            continue
+        if match.lastgroup is None:
+            continue
+        tokens.append(_Token(match.lastgroup, match.group(match.lastgroup), match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+        self.active_var: str | None = None
+        self.edge_vars: set[str] = set()
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} at {token.position}"
+            )
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident" or token.text in KEYWORDS:
+            raise ParseError(
+                f"expected an identifier, found {token.text!r} at {token.position}"
+            )
+        return token.text
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self, name: str = "loop") -> KimbapWhile:
+        self.expect("while_updated")
+        maps = [self.expect_ident()]
+        while self.at(","):
+            self.advance()
+            maps.append(self.expect_ident())
+        self.expect("{")
+        par_for = self.parse_parfor()
+        self.expect("}")
+        if self.peek().kind != "eof":
+            token = self.peek()
+            raise ParseError(f"trailing input at {token.position}: {token.text!r}")
+        return KimbapWhile(tuple(maps), par_for, name=name)
+
+    def parse_parfor(self) -> ParFor:
+        self.expect("parfor")
+        self.active_var = self.expect_ident()
+        self.expect("in")
+        self.expect("nodes")
+        return ParFor(self.parse_block())
+
+    def parse_block(self) -> tuple[Stmt, ...]:
+        self.expect("{")
+        statements: list[Stmt] = []
+        while not self.at("}"):
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return tuple(statements)
+
+    def parse_statement(self) -> Stmt:
+        if self.at("for"):
+            return self.parse_for_edges()
+        if self.at("if"):
+            return self.parse_if()
+        name = self.expect_ident()
+        if self.at("."):
+            self.advance()
+            method = self.expect_ident()
+            statement = self.parse_call(name, method)
+            self.expect(";")
+            return statement
+        self.expect("=")
+        expr = self.parse_expr()
+        self.expect(";")
+        if isinstance(expr, _ReadCall):
+            return MapRead(name, expr.map, expr.key)
+        return Assign(name, expr)
+
+    def parse_for_edges(self) -> ForEdges:
+        self.expect("for")
+        edge_var = self.expect_ident()
+        self.expect("in")
+        self.expect("edges")
+        self.expect("(")
+        iterated = self.expect_ident()
+        if iterated != self.active_var:
+            raise ParseError(
+                f"only the active node's edges are accessible, not {iterated!r}"
+            )
+        self.expect(")")
+        self.edge_vars.add(edge_var)
+        body = self.parse_block()
+        return ForEdges(edge_var, body)
+
+    def parse_if(self) -> If:
+        self.expect("if")
+        self.expect("(")
+        condition = self.parse_expr()
+        self.expect(")")
+        then_block = self.parse_block()
+        else_block: tuple[Stmt, ...] = ()
+        if self.at("else"):
+            self.advance()
+            else_block = self.parse_block()
+        return If(condition, then_block, else_block)
+
+    def parse_call(self, name: str, method: str) -> Stmt:
+        if method == "reduce":
+            self.expect("(")
+            key = self.parse_expr()
+            self.expect(",")
+            value = self.parse_expr()
+            self.expect(",")
+            op_name = self.expect_op_name()
+            self.expect(")")
+            return MapReduce(name, key, value, REDUCE_OPS[op_name])
+        if method == "set":
+            self.expect("(")
+            key = self.parse_expr()
+            self.expect(",")
+            value = self.parse_expr()
+            self.expect(")")
+            return MapSet(name, key, value)
+        if method == "reduce_or":
+            self.expect("(")
+            value = self.parse_expr()
+            self.expect(")")
+            return ReducerReduce(name, value)
+        raise ParseError(f"unknown statement method .{method}()")
+
+    def expect_op_name(self) -> str:
+        token = self.advance()
+        if token.text not in REDUCE_OPS:
+            raise ParseError(
+                f"unknown reduction operator {token.text!r}; "
+                f"have {sorted(REDUCE_OPS)}"
+            )
+        return token.text
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at("or"):
+            self.advance()
+            left = BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at("and"):
+            self.advance()
+            left = BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at("not"):
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.peek().text in (">", "<", ">=", "<=", "==", "!="):
+            op = self.advance().text
+            return BinOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_primary()
+        while self.peek().text in ("*", "/"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_primary())
+        return left
+
+    def parse_primary(self) -> Expr:
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.text == "true":
+            return Const(True)
+        if token.text == "false":
+            return Const(False)
+        if token.text in ("min", "max"):
+            self.expect("(")
+            left = self.parse_expr()
+            self.expect(",")
+            right = self.parse_expr()
+            self.expect(")")
+            return BinOp(token.text, left, right)
+        if token.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.kind == "ident":
+            return self.parse_name(token.text)
+        raise ParseError(f"unexpected token {token.text!r} at {token.position}")
+
+    def parse_name(self, name: str) -> Expr:
+        if self.at("."):
+            self.advance()
+            attribute = self.expect_ident()
+            if attribute == "read":
+                self.expect("(")
+                key = self.parse_expr()
+                self.expect(")")
+                return _ReadCall(name, key)
+            if attribute == "dst":
+                if name not in self.edge_vars:
+                    raise ParseError(f"{name!r} is not an edge variable")
+                return EdgeDst(name)
+            if attribute == "weight":
+                if name not in self.edge_vars:
+                    raise ParseError(f"{name!r} is not an edge variable")
+                return EdgeWeight(name)
+            raise ParseError(f"unknown attribute .{attribute}")
+        if name == self.active_var:
+            return ActiveNode()
+        return Var(name)
+
+
+@dataclass(frozen=True)
+class _ReadCall:
+    """Intermediate node for ``x = map.read(key)``; only valid as the whole
+    right-hand side of an assignment (reads bind a variable)."""
+
+    map: str
+    key: Expr
+
+
+def parse_program(source: str, name: str = "loop") -> KimbapWhile:
+    """Parse one KimbapWhile from source text."""
+    program = Parser(source).parse_program(name=name)
+    _reject_nested_reads(program.par_for.body)
+    return program
+
+
+# ------------------------------------------------------------- unparser
+
+
+def to_source(program: KimbapWhile, active_var: str = "n") -> str:
+    """Render a program back to surface syntax (parse(to_source(p)) == p).
+
+    Only user-level IR is printable; compiler-inserted ``MapRequest``
+    statements have no surface form and raise.
+    """
+    op_names = {op.name: name for name, op in REDUCE_OPS.items()}
+    lines: list[str] = [f"while_updated {', '.join(program.maps)} {{"]
+    lines.append(f"  parfor {active_var} in nodes {{")
+
+    def expr_text(expr: Expr) -> str:
+        if isinstance(expr, Const):
+            if expr.value is True:
+                return "true"
+            if expr.value is False:
+                return "false"
+            return str(expr.value)
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, ActiveNode):
+            return active_var
+        if isinstance(expr, EdgeDst):
+            return f"{expr.edge_var}.dst"
+        if isinstance(expr, EdgeWeight):
+            return f"{expr.edge_var}.weight"
+        if isinstance(expr, Not):
+            return f"not ({expr_text(expr.expr)})"
+        if isinstance(expr, BinOp):
+            if expr.op in ("min", "max"):
+                return f"{expr.op}({expr_text(expr.left)}, {expr_text(expr.right)})"
+            return f"({expr_text(expr.left)} {expr.op} {expr_text(expr.right)})"
+        raise TypeError(f"unprintable expression {expr!r}")
+
+    def emit(body, depth: int) -> None:
+        pad = "  " * depth
+        for stmt in body:
+            if isinstance(stmt, MapRead):
+                lines.append(f"{pad}{stmt.var} = {stmt.map}.read({expr_text(stmt.key)});")
+            elif isinstance(stmt, Assign):
+                lines.append(f"{pad}{stmt.var} = {expr_text(stmt.expr)};")
+            elif isinstance(stmt, MapReduce):
+                if stmt.op.name not in op_names:
+                    raise ValueError(f"operator {stmt.op.name!r} has no surface name")
+                lines.append(
+                    f"{pad}{stmt.map}.reduce({expr_text(stmt.key)}, "
+                    f"{expr_text(stmt.value)}, {op_names[stmt.op.name]});"
+                )
+            elif isinstance(stmt, MapSet):
+                lines.append(
+                    f"{pad}{stmt.map}.set({expr_text(stmt.key)}, {expr_text(stmt.value)});"
+                )
+            elif isinstance(stmt, ReducerReduce):
+                lines.append(f"{pad}{stmt.reducer}.reduce_or({expr_text(stmt.value)});")
+            elif isinstance(stmt, If):
+                lines.append(f"{pad}if ({expr_text(stmt.cond)}) {{")
+                emit(stmt.then, depth + 1)
+                if stmt.orelse:
+                    lines.append(f"{pad}}} else {{")
+                    emit(stmt.orelse, depth + 1)
+                lines.append(f"{pad}}}")
+            elif isinstance(stmt, ForEdges):
+                lines.append(f"{pad}for {stmt.edge_var} in edges({active_var}) {{")
+                emit(stmt.body, depth + 1)
+                lines.append(f"{pad}}}")
+            else:
+                raise TypeError(f"unprintable statement {stmt!r}")
+
+    emit(program.par_for.body, 2)
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _reject_nested_reads(body: tuple[Stmt, ...]) -> None:
+    from repro.compiler.ir import walk
+
+    for stmt in walk(body):
+        for field_name in ("key", "value", "cond", "expr"):
+            expr = getattr(stmt, field_name, None)
+            if expr is not None and _contains_read(expr):
+                raise ParseError(
+                    "map.read(...) must be assigned to a variable, not nested "
+                    f"inside another expression: {stmt}"
+                )
+
+
+def _contains_read(expr) -> bool:
+    if isinstance(expr, _ReadCall):
+        return True
+    if isinstance(expr, BinOp):
+        return _contains_read(expr.left) or _contains_read(expr.right)
+    if isinstance(expr, Not):
+        return _contains_read(expr.expr)
+    return False

@@ -1,0 +1,200 @@
+"""DSL source programs: what a Kimbap user writes (Figure 4).
+
+These are the shared-memory operator definitions for the algorithms that
+are compiled end-to-end (CC-SV, CC-LP, CC-SCLP, MIS). The heavier LV / LD /
+MSF applications are hand-written at the level of the compiler's *output*
+(Figure 8) in :mod:`repro.algorithms`; their operator classifications for
+Table 2 are declared there and spot-checked against this compiler in tests.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ActiveNode,
+    BinOp,
+    Const,
+    EdgeDst,
+    ForEdges,
+    If,
+    KimbapWhile,
+    MapRead,
+    MapReduce,
+    ParFor,
+    ReducerReduce,
+    Var,
+    stmts,
+)
+from repro.core.reducers import MAX, MIN
+
+
+def cc_sv_hook() -> KimbapWhile:
+    """Figure 4's Hook: min-reduce neighbor parents onto parent(parent)."""
+    body = stmts(
+        MapRead("src_parent", "parent", ActiveNode()),
+        ForEdges(
+            "edge",
+            stmts(
+                MapRead("dst_parent", "parent", EdgeDst("edge")),
+                If(
+                    BinOp(">", Var("src_parent"), Var("dst_parent")),
+                    stmts(
+                        ReducerReduce("work_done", Const(True)),
+                        MapReduce("parent", Var("src_parent"), Var("dst_parent"), MIN),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return KimbapWhile(("parent",), ParFor(body), name="hook")
+
+
+def cc_sv_shortcut() -> KimbapWhile:
+    """Figure 4's Shortcut: parent <- parent(parent) (pointer jumping)."""
+    body = stmts(
+        MapRead("parent_value", "parent", ActiveNode()),
+        MapRead("grand_parent", "parent", Var("parent_value")),
+        If(
+            BinOp("!=", Var("parent_value"), Var("grand_parent")),
+            stmts(MapReduce("parent", ActiveNode(), Var("grand_parent"), MIN)),
+        ),
+    )
+    return KimbapWhile(("parent",), ParFor(body), name="shortcut")
+
+
+def cc_lp_program() -> KimbapWhile:
+    """Label propagation: push my label to every neighbor."""
+    body = stmts(
+        MapRead("label_value", "label", ActiveNode()),
+        ForEdges(
+            "edge",
+            stmts(MapReduce("label", EdgeDst("edge"), Var("label_value"), MIN)),
+        ),
+    )
+    return KimbapWhile(("label",), ParFor(body), name="cc_lp")
+
+
+def cc_sclp_propagate() -> KimbapWhile:
+    return KimbapWhile(
+        ("label",),
+        ParFor(
+            stmts(
+                MapRead("label_value", "label", ActiveNode()),
+                ForEdges(
+                    "edge",
+                    stmts(
+                        MapReduce("label", EdgeDst("edge"), Var("label_value"), MIN)
+                    ),
+                ),
+            )
+        ),
+        name="sclp_prop",
+    )
+
+
+def cc_sclp_shortcut() -> KimbapWhile:
+    return KimbapWhile(
+        ("label",),
+        ParFor(
+            stmts(
+                MapRead("label_value", "label", ActiveNode()),
+                MapRead("label_of_label", "label", Var("label_value")),
+                If(
+                    BinOp("!=", Var("label_value"), Var("label_of_label")),
+                    stmts(
+                        MapReduce("label", ActiveNode(), Var("label_of_label"), MIN)
+                    ),
+                ),
+            )
+        ),
+        name="sclp_short",
+    )
+
+
+# MIS round operators. Priorities are hash-scrambled ids (a strict total
+# order), initialized by host code; ``round`` is an external constant bound
+# per round so the blocked map round-stamps itself.
+
+UNDECIDED, IN_SET, OUT = 0, 1, 2
+
+
+def mis_blocked() -> KimbapWhile:
+    body = stmts(
+        MapRead("my_state", "state", ActiveNode()),
+        If(
+            BinOp("==", Var("my_state"), Const(UNDECIDED)),
+            stmts(
+                MapRead("my_priority", "priority", ActiveNode()),
+                ForEdges(
+                    "edge",
+                    stmts(
+                        MapRead("dst_state", "state", EdgeDst("edge")),
+                        If(
+                            BinOp("==", Var("dst_state"), Const(UNDECIDED)),
+                            stmts(
+                                MapRead("dst_priority", "priority", EdgeDst("edge")),
+                                If(
+                                    BinOp(
+                                        ">", Var("dst_priority"), Var("my_priority")
+                                    ),
+                                    stmts(
+                                        MapReduce(
+                                            "blocked",
+                                            ActiveNode(),
+                                            Var("round"),
+                                            MAX,
+                                        )
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return KimbapWhile(("blocked",), ParFor(body), name="mis_blocked")
+
+
+def mis_select() -> KimbapWhile:
+    body = stmts(
+        MapRead("my_state", "state", ActiveNode()),
+        If(
+            BinOp("==", Var("my_state"), Const(UNDECIDED)),
+            stmts(
+                MapRead("blocked_round", "blocked", ActiveNode()),
+                If(
+                    BinOp("!=", Var("blocked_round"), Var("round")),
+                    stmts(MapReduce("state", ActiveNode(), Const(IN_SET), MAX)),
+                ),
+            ),
+        ),
+    )
+    return KimbapWhile(("state",), ParFor(body), name="mis_select")
+
+
+def mis_exclude() -> KimbapWhile:
+    body = stmts(
+        MapRead("my_state", "state", ActiveNode()),
+        If(
+            BinOp("==", Var("my_state"), Const(IN_SET)),
+            stmts(
+                ForEdges(
+                    "edge",
+                    stmts(MapReduce("state", EdgeDst("edge"), Const(OUT), MAX)),
+                )
+            ),
+        ),
+    )
+    return KimbapWhile(("state",), ParFor(body), name="mis_exclude")
+
+
+ALL_PROGRAMS = {
+    "hook": cc_sv_hook,
+    "shortcut": cc_sv_shortcut,
+    "cc_lp": cc_lp_program,
+    "sclp_prop": cc_sclp_propagate,
+    "sclp_short": cc_sclp_shortcut,
+    "mis_blocked": mis_blocked,
+    "mis_select": mis_select,
+    "mis_exclude": mis_exclude,
+}

@@ -1,0 +1,330 @@
+"""Per-host storage backends for the node-property map.
+
+:class:`GarHostStore` is the paper's Figure 6: a dense vector for
+locally-materialized properties (masters always; mirrors while pinned) plus
+a sorted key/value array pair for requested remote properties, read by
+binary search and dropped after every reduce-sync.
+
+:class:`HashHostStore` is the non-partition-aware layout used by the MC,
+SGR-only and SGR+CF variants: one hash map for owned keys (modulo-hashed
+ownership) and one for the per-round remote cache. Every read is a hash
+probe, and because ownership ignores the partition, even a host's own master
+nodes usually live elsewhere and must be fetched each round.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.reducers import ReduceOp
+from repro.partition.base import PartitionedGraph
+
+
+class GarHostStore:
+    """Graph-partition-aware per-host store (masters dense, remotes sorted).
+
+    ``remote_layout`` selects the requested-remote-cache representation:
+    ``"sorted"`` is the paper's Figure 6 (sorted key/value arrays read by
+    binary search); ``"hash"`` is the ablation alternative (a hash map,
+    priced as hash probes).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pgraph: PartitionedGraph,
+        host_id: int,
+        remote_layout: str = "sorted",
+    ) -> None:
+        if remote_layout not in ("sorted", "hash"):
+            raise ValueError(f"unknown remote layout {remote_layout!r}")
+        self.cluster = cluster
+        self.host_id = host_id
+        self.part = pgraph.parts[host_id]
+        self.owner = pgraph.owner
+        self.remote_layout = remote_layout
+        self.values: list[Any] = [None] * self.part.num_local
+        masters = self.part.masters_global
+        # Blocked policies give contiguous master id ranges, enabling O(1)
+        # global -> local translation for masters (the heart of GAR).
+        self._master_base = int(masters[0]) if masters.size else 0
+        self._masters_contiguous = bool(
+            masters.size == 0 or (masters[-1] - masters[0] + 1 == masters.size)
+        )
+        self.pinned = False
+        self._remote_keys = np.empty(0, dtype=np.int64)
+        self._remote_values: list[Any] = []
+        self._remote_hash: dict[int, Any] = {}
+
+    # -- local id translation ----------------------------------------------
+
+    def master_local(self, key: int) -> int | None:
+        if self.owner[key] != self.host_id:
+            return None
+        if self._masters_contiguous:
+            return key - self._master_base
+        self.cluster.counters(self.host_id).hash_probes += 1
+        return self.part.global_to_local[key]
+
+    def _mirror_local(self, key: int) -> int | None:
+        local = self.part.global_to_local.get(key)
+        if local is None or local < self.part.num_masters:
+            return None
+        return local
+
+    # -- reads ----------------------------------------------------------------
+
+    def can_read(self, key: int) -> bool:
+        if self.owner[key] == self.host_id:
+            return True
+        if self.pinned and self._mirror_local(key) is not None:
+            return True
+        if self.remote_layout == "hash":
+            return key in self._remote_hash
+        index = np.searchsorted(self._remote_keys, key)
+        return bool(index < self._remote_keys.size and self._remote_keys[index] == key)
+
+    def read(self, key: int) -> Any:
+        counters = self.cluster.counters(self.host_id)
+        local = self.master_local(key)
+        if local is not None:
+            counters.vector_reads += 1
+            counters.reads_master += 1
+            value = self.values[local]
+            if value is None:
+                raise KeyError(f"master {key} read before initialization")
+            return value
+        counters.reads_remote += 1
+        if self.pinned:
+            mirror = self._mirror_local(key)
+            if mirror is not None:
+                counters.hash_probes += 1
+                counters.vector_reads += 1
+                value = self.values[mirror]
+                if value is None:
+                    raise KeyError(f"mirror {key} pinned but not yet broadcast")
+                return value
+        if self.remote_layout == "hash":
+            counters.hash_probes += 1
+            if key in self._remote_hash:
+                return self._remote_hash[key]
+        else:
+            size = self._remote_keys.size
+            if size:
+                counters.binsearch_steps += int(math.log2(size)) + 1
+                index = int(np.searchsorted(self._remote_keys, key))
+                if index < size and self._remote_keys[index] == key:
+                    return self._remote_values[index]
+        raise KeyError(
+            f"node {key} not readable on host {self.host_id}: "
+            "not a master, not a pinned mirror, and not requested this round"
+        )
+
+    def read_local(self, local_id: int) -> Any:
+        """Fast path for reads addressed by local id (the common case in
+        operators iterating local nodes and edges)."""
+        counters = self.cluster.counters(self.host_id)
+        counters.vector_reads += 1
+        if local_id < self.part.num_masters:
+            counters.reads_master += 1
+        else:
+            counters.reads_remote += 1
+        value = self.values[local_id]
+        if value is None:
+            global_id = int(self.part.local_to_global[local_id])
+            raise KeyError(f"local node {local_id} (global {global_id}) has no value")
+        return value
+
+    # -- writes (owner side) -------------------------------------------------
+
+    def write_master(self, key: int, value: Any) -> None:
+        local = self.master_local(key)
+        if local is None:
+            raise KeyError(f"node {key} is not a master on host {self.host_id}")
+        self.cluster.counters(self.host_id).local_ops += 1
+        self.values[local] = value
+
+    def serve_master(self, key: int) -> Any:
+        local = self.master_local(key)
+        if local is None:
+            raise KeyError(f"node {key} is not a master on host {self.host_id}")
+        self.cluster.counters(self.host_id).vector_reads += 1
+        return self.values[local]
+
+    def apply_master(self, key: int, value: Any, op: ReduceOp) -> bool:
+        """Reduce ``value`` onto the canonical master value; True if changed."""
+        local = self.master_local(key)
+        if local is None:
+            raise KeyError(f"node {key} is not a master on host {self.host_id}")
+        counters = self.cluster.counters(self.host_id)
+        counters.vector_reads += 1
+        counters.local_ops += 1
+        old = self.values[local]
+        new = value if old is None else op(old, value)
+        if new != old:
+            self.values[local] = new
+            return True
+        return False
+
+    # -- remote cache ----------------------------------------------------------
+
+    def materialize_remote(self, keys: np.ndarray, values: list[Any]) -> None:
+        """Install requested remote properties into the sorted arrays.
+
+        Merges with already-materialized entries: a round may have several
+        request phases (chained dynamic reads), and each stays readable
+        until the next reduce-sync drops the cache. New values win - they
+        are fresher reads of the same canonical masters.
+        """
+        if self.remote_layout == "hash":
+            self._remote_hash.update(zip(keys.tolist(), values))
+            self.cluster.counters(self.host_id).materialize_ops += len(values)
+            return
+        if self._remote_keys.size:
+            merged = {
+                int(k): v for k, v in zip(self._remote_keys.tolist(), self._remote_values)
+            }
+            merged.update(zip(keys.tolist(), values))
+            keys = np.fromiter(merged.keys(), dtype=np.int64, count=len(merged))
+            values = list(merged.values())
+        order = np.argsort(keys)
+        self._remote_keys = keys[order]
+        self._remote_values = [values[i] for i in order]
+        self.cluster.counters(self.host_id).materialize_ops += len(values)
+
+    def drop_remote(self) -> None:
+        self._remote_keys = np.empty(0, dtype=np.int64)
+        self._remote_values = []
+        self._remote_hash.clear()
+
+    @property
+    def remote_cache_size(self) -> int:
+        if self.remote_layout == "hash":
+            return len(self._remote_hash)
+        return self._remote_keys.size
+
+    # -- pinned mirrors ----------------------------------------------------------
+
+    def pin(self) -> None:
+        self.pinned = True
+
+    def unpin(self) -> None:
+        self.pinned = False
+        for local in range(self.part.num_masters, self.part.num_local):
+            self.values[local] = None
+
+    def write_mirror(self, key: int, value: Any) -> None:
+        mirror = self._mirror_local(key)
+        if mirror is None:
+            raise KeyError(f"node {key} is not a mirror on host {self.host_id}")
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += 1
+        counters.local_ops += 1
+        self.values[mirror] = value
+
+
+class HashHostStore:
+    """Modulo-hashed per-host store (the MC / SGR-only / SGR+CF layout)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pgraph: PartitionedGraph,
+        host_id: int,
+        num_hosts: int,
+    ) -> None:
+        self.cluster = cluster
+        self.host_id = host_id
+        self.part = pgraph.parts[host_id]
+        self.num_hosts = num_hosts
+        self.owned: dict[int, Any] = {}
+        self.cache: dict[int, Any] = {}
+        self.pinned = False
+
+    def hash_owner(self, key: int) -> int:
+        return key % self.num_hosts
+
+    def always_fetch_keys(self) -> Iterable[int]:
+        """Keys this host reads every round regardless of explicit requests:
+        its masters, plus its mirrors while "pinned" (no broadcast exists
+        without partition awareness, so pinning degrades to refetching)."""
+        yield from (int(g) for g in self.part.masters_global)
+        if self.pinned:
+            yield from (int(g) for g in self.part.mirrors_global)
+
+    def can_read(self, key: int) -> bool:
+        return key in self.cache or (
+            self.hash_owner(key) == self.host_id and key in self.owned
+        )
+
+    def read(self, key: int) -> Any:
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += 1
+        local = self.part.global_to_local.get(key)
+        if local is not None and local < self.part.num_masters:
+            counters.reads_master += 1
+        else:
+            counters.reads_remote += 1
+        if key in self.cache:
+            return self.cache[key]
+        if self.hash_owner(key) == self.host_id and key in self.owned:
+            return self.owned[key]
+        raise KeyError(
+            f"node {key} not in host {self.host_id}'s cache; was it requested?"
+        )
+
+    def read_local(self, local_id: int) -> Any:
+        return self.read(int(self.part.local_to_global[local_id]))
+
+    def write_master(self, key: int, value: Any) -> None:
+        self.cluster.counters(self.host_id).hash_probes += 1
+        self.owned[key] = value
+
+    def serve_master(self, key: int) -> Any:
+        self.cluster.counters(self.host_id).hash_probes += 1
+        return self.owned[key]
+
+    def apply_master(self, key: int, value: Any, op: ReduceOp) -> bool:
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += 1
+        counters.local_ops += 1
+        old = self.owned.get(key)
+        new = value if old is None else op(old, value)
+        if new != old:
+            self.owned[key] = new
+            return True
+        return False
+
+    def materialize_remote(self, keys: np.ndarray, values: list[Any]) -> None:
+        for key, value in zip(keys.tolist(), values):
+            self.cache[key] = value
+        self.cluster.counters(self.host_id).materialize_ops += len(values)
+
+    def drop_remote(self) -> None:
+        self.cache.clear()
+
+    @property
+    def remote_cache_size(self) -> int:
+        return len(self.cache)
+
+    def pin(self) -> None:
+        self.pinned = True
+
+    def unpin(self) -> None:
+        self.pinned = False
+
+
+def make_store(
+    variant_uses_gar: bool,
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    host_id: int,
+    remote_layout: str = "sorted",
+) -> GarHostStore | HashHostStore:
+    if variant_uses_gar:
+        return GarHostStore(cluster, pgraph, host_id, remote_layout=remote_layout)
+    return HashHostStore(cluster, pgraph, host_id, pgraph.num_hosts)

@@ -1,0 +1,547 @@
+"""The distributed node-property map (Figures 2, 5, 6, 7 of the paper).
+
+One :class:`NodePropMap` spans the whole simulated cluster: each host holds
+a storage backend (:mod:`repro.core.backends`) and a reduction strategy
+(:mod:`repro.core.reduction`), both selected by the
+:class:`~repro.core.variants.RuntimeVariant`. Compute phases are opened by
+the runtime engine; the collective operations here (``request_sync``,
+``reduce_sync``, ``broadcast_sync``, ``pin_mirrors``) open their own sync
+phases and do all message accounting.
+
+Execution-model contract (Section 4.1):
+
+* reads during a round see values as of the *end of the previous round*;
+* ``reduce`` produces partial values that are only visible after
+  ``reduce_sync`` routes them to owners (scatter-gather-reduce);
+* requested remote properties are materialized at ``request_sync`` and
+  dropped at ``reduce_sync``;
+* ``is_updated`` answers "did any master property change in the last
+  reduce_sync" (the vote itself rides the reduce-sync allreduce).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.backends import GarHostStore, HashHostStore, make_store
+from repro.core.bitset import ConcurrentBitset
+from repro.core.reducers import ReduceOp
+from repro.core.reduction import (
+    KvCasReduction,
+    SharedMapReduction,
+    ThreadLocalReduction,
+)
+from repro.core.variants import RuntimeVariant
+from repro.kvstore.client import KvClient
+from repro.partition.base import PartitionedGraph
+
+KEY_BYTES = 8
+
+
+class NodePropMap:
+    """A node-id -> property map distributed across the cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pgraph: PartitionedGraph,
+        name: str = "prop",
+        variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+        value_nbytes: int = 8,
+        kv_client: KvClient | None = None,
+        remote_layout: str = "sorted",
+        serial_combine: bool = False,
+        request_dedup: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.pgraph = pgraph
+        self.name = name
+        self.variant = variant
+        self.value_nbytes = value_nbytes
+        self.request_dedup = request_dedup
+        num_hosts = cluster.num_hosts
+        if pgraph.num_hosts != num_hosts:
+            raise ValueError("partitioned graph and cluster disagree on host count")
+        self.stores = [
+            make_store(variant.uses_gar, cluster, pgraph, h, remote_layout=remote_layout)
+            for h in range(num_hosts)
+        ]
+        self.kv_client: KvClient | None = None
+        if variant.uses_kvstore:
+            self.kv_client = kv_client or KvClient(cluster)
+            kv_writers: dict[int, set[tuple[int, int]]] = {}
+            self.reductions: list[Any] = [
+                KvCasReduction(
+                    cluster,
+                    h,
+                    self.kv_client,
+                    self._kv_key,
+                    kv_writers,
+                    self._note_change,
+                )
+                for h in range(num_hosts)
+            ]
+        elif variant.uses_thread_local_maps:
+            self.reductions = [
+                ThreadLocalReduction(cluster, h, serial_combine=serial_combine)
+                for h in range(num_hosts)
+            ]
+        else:
+            self.reductions = [SharedMapReduction(cluster, h) for h in range(num_hosts)]
+        self.bitsets = [ConcurrentBitset(pgraph.num_nodes) for _ in range(num_hosts)]
+        # With deduplication disabled (ablation), duplicate requests are
+        # kept and re-served: this list records every accepted request.
+        self._dup_requests: list[list[int]] = [[] for _ in range(num_hosts)]
+        self._op: ReduceOp | None = None
+        self._any_updated = False
+        self._updated_masters: list[set[int]] = [set() for _ in range(num_hosts)]
+        # Activity tracking for data-driven operators (delta propagation):
+        # the global ids whose locally-readable copy changed in the last
+        # completed round. Gluon exposes the same information through its
+        # updated-value metadata; push-style operators use it to skip
+        # quiescent nodes.
+        # Both buffers start full so the first round after initialization
+        # sees every node active (reset_updated swaps buffers per round).
+        self._active: list[set[int]] = [
+            set(int(g) for g in pgraph.parts[h].local_to_global)
+            for h in range(num_hosts)
+        ]
+        self._next_active: list[set[int]] = [
+            set(int(g) for g in pgraph.parts[h].local_to_global)
+            for h in range(num_hosts)
+        ]
+        self._pinned = False
+        self._pin_invariant = "none"
+        self._mirror_filter_cache: dict[str, list[dict[int, np.ndarray]]] = {}
+
+    # ------------------------------------------------------------------ util
+
+    def _kv_key(self, key: int) -> str:
+        return f"npm:{self.name}:{key}"
+
+    def _note_change(self, key: int) -> None:
+        self._any_updated = True
+
+    def owner_of(self, key: int) -> int:
+        if self.variant.uses_gar:
+            return int(self.pgraph.owner[key])
+        return key % self.cluster.num_hosts
+
+    def _report_memory(self) -> None:
+        """Report this map's live value-slot footprint per host.
+
+        Counted: the dense/owned canonical storage, the materialized remote
+        cache, and the thread-local (or shared) reduction maps - the extra
+        memory the paper attributes to CF ("max RSS ... on average 10%
+        higher than Vite", Section 6.2).
+        """
+        from repro.core.backends import GarHostStore
+
+        for host in range(self.cluster.num_hosts):
+            store = self.stores[host]
+            if isinstance(store, GarHostStore):
+                canonical = store.part.num_local
+            else:
+                canonical = len(store.owned)
+            slots = canonical + store.remote_cache_size + self.reductions[host].pending()
+            self.cluster.track_memory(host, f"npm:{self.name}", slots)
+
+    @property
+    def pinned(self) -> bool:
+        return self._pinned
+
+    # --------------------------------------------------------------- user API
+
+    def set(self, host: int, key: int, value: Any) -> None:
+        """Initialization-only write (Figure 2's Set); no race detection.
+
+        The canonical value lands at the key's owner; a cross-host Set
+        sends one message.
+        """
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            self.kv_client.set(host, self._kv_key(key), value)
+            return
+        owner = self.owner_of(key)
+        if owner != host:
+            self.cluster.network.send(host, owner, KEY_BYTES + self.value_nbytes)
+        self.stores[owner].write_master(key, value)
+
+    def read(self, host: int, key: int) -> Any:
+        """Read a property by global node id (Figure 2's Read)."""
+        return self.stores[host].read(int(key))
+
+    def read_local(self, host: int, local_id: int) -> Any:
+        """Read by local id: the fast path for active nodes and edge endpoints."""
+        return self.stores[host].read_local(local_id)
+
+    def reduce(self, host: int, thread: int, key: int, value: Any, op: ReduceOp) -> None:
+        """Reduce ``value`` onto ``key``'s property (visible next round)."""
+        if not 0 <= key < self.pgraph.num_nodes:
+            raise KeyError(
+                f"reduce target {key} is not a node id (graph has "
+                f"{self.pgraph.num_nodes} nodes)"
+            )
+        if self._op is None:
+            self._op = op
+        elif self._op.name != op.name:
+            raise ValueError(
+                f"map {self.name!r} reduced with {op.name!r} after {self._op.name!r}; "
+                "a map uses a single reduction operator per loop"
+            )
+        self.reductions[host].reduce(thread, int(key), value, op)
+
+    # ----------------------------------------------------------- compiler API
+
+    def reset_updated(self) -> None:
+        self._any_updated = False
+        self._active = self._next_active
+        self._next_active = [set() for _ in range(self.cluster.num_hosts)]
+
+    def is_active(self, host: int, key: int) -> bool:
+        """Did ``key``'s locally-readable copy change last round?
+
+        Data-driven (push-style) operators use this to skip quiescent
+        nodes. Conservatively always True for the non-GAR variants, whose
+        per-round refetch rewrites the whole cache.
+        """
+        if not self.variant.uses_gar:
+            return True
+        return key in self._active[host]
+
+    def is_updated(self) -> bool:
+        """Did the last reduce_sync change any master value? (BSP-round vote)"""
+        return self._any_updated
+
+    def request(self, host: int, key: int) -> bool:
+        """Mark ``key`` wanted on ``host`` next request-sync; deduplicated.
+
+        Requests for keys already readable locally (own masters; pinned
+        mirrors) are skipped - the runtime-side half of the compiler's
+        RequestSync elision reasoning.
+        """
+        key = int(key)
+        counters = self.cluster.counters(host)
+        counters.local_ops += 1
+        store = self.stores[host]
+        if isinstance(store, GarHostStore):
+            if store.master_local(key) is not None:
+                return False
+            if self._pinned:
+                local = store.part.global_to_local.get(key)
+                if local is not None and local >= store.part.num_masters:
+                    return False
+        if not self.request_dedup:
+            self._dup_requests[host].append(key)
+            self.bitsets[host].set(key)
+            return True
+        return self.bitsets[host].set(key)
+
+    def request_sync(self) -> None:
+        """Serve this round's requests: one message per host pair each way."""
+        with self.cluster.phase(PhaseKind.REQUEST_SYNC, label=self.name):
+            if self.variant.uses_kvstore:
+                self._kv_fetch_requests(include_always=False)
+                return
+            requests: list[np.ndarray] = []
+            for host in range(self.cluster.num_hosts):
+                if self.request_dedup:
+                    keys = self.bitsets[host].nonzero()
+                else:
+                    keys = np.asarray(sorted(self._dup_requests[host]), dtype=np.int64)
+                    self._dup_requests[host].clear()
+                self.bitsets[host].clear()
+                if not self.variant.uses_gar:
+                    always = np.fromiter(
+                        self.stores[host].always_fetch_keys(), dtype=np.int64
+                    )
+                    keys = np.union1d(keys, always)
+                requests.append(keys)
+            self._serve_requests(requests)
+        self._report_memory()
+
+    def _serve_requests(self, requests: list[np.ndarray]) -> None:
+        for host, keys in enumerate(requests):
+            if keys.size == 0:
+                continue
+            owners = (
+                self.pgraph.owner[keys]
+                if self.variant.uses_gar
+                else keys % self.cluster.num_hosts
+            )
+            gathered_values: list[Any] = [None] * keys.size
+            for owner_host in np.unique(owners):
+                owner_host = int(owner_host)
+                mask = owners == owner_host
+                owned_keys = keys[mask]
+                if owner_host != host:
+                    self.cluster.network.send(
+                        host, owner_host, KEY_BYTES * owned_keys.size
+                    )
+                served = [
+                    self.stores[owner_host].serve_master(int(k)) for k in owned_keys
+                ]
+                if owner_host != host:
+                    self.cluster.network.send(
+                        owner_host,
+                        host,
+                        (KEY_BYTES + self.value_nbytes) * owned_keys.size,
+                    )
+                for index, value in zip(np.flatnonzero(mask), served):
+                    gathered_values[int(index)] = value
+            self.stores[host].materialize_remote(keys, gathered_values)
+
+    def _kv_fetch_requests(self, include_always: bool) -> None:
+        assert self.kv_client is not None
+        for host in range(self.cluster.num_hosts):
+            keys = set(self.bitsets[host].nonzero().tolist())
+            self.bitsets[host].clear()
+            if include_always:
+                keys.update(self.stores[host].always_fetch_keys())
+            if not keys:
+                continue
+            key_list = sorted(keys)
+            string_keys = [self._kv_key(k) for k in key_list]
+            found = self.kv_client.mget(host, string_keys)
+            values = []
+            present = []
+            for key, string_key in zip(key_list, string_keys):
+                if string_key in found:
+                    present.append(key)
+                    values.append(found[string_key][0])
+            self.stores[host].materialize_remote(
+                np.asarray(present, dtype=np.int64), values
+            )
+        self._report_memory()
+
+    def reduce_sync(self) -> None:
+        """Scatter-gather-reduce: route partials to owners, apply, vote."""
+        # Peak-footprint moment: thread-local maps full, remote cache
+        # still materialized.
+        self._report_memory()
+        with self.cluster.phase(PhaseKind.REDUCE_SYNC, label=self.name):
+            if self.variant.uses_kvstore:
+                # Reductions already applied via CAS; ReduceSync is a no-op
+                # apart from dropping stale caches and the round vote.
+                for store in self.stores:
+                    store.drop_remote()
+                self.reductions[0].collect(self._op or ReduceOp("noop", lambda a, b: a))
+                self.cluster.network.allreduce(1)
+            else:
+                self._sgr_reduce()
+                self.cluster.network.allreduce(1)
+        if not self.variant.uses_gar:
+            # Without GAR there is no locally-materialized master copy, so
+            # every host refetches the keys it reads unconditionally (its
+            # masters, plus mirrors while pinned) for the next round.
+            with self.cluster.phase(
+                PhaseKind.REQUEST_SYNC, label=f"{self.name}:refetch"
+            ):
+                if self.variant.uses_kvstore:
+                    self._kv_fetch_requests(include_always=True)
+                else:
+                    requests = [
+                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
+                        for store in self.stores
+                    ]
+                    self._serve_requests(requests)
+
+    def _sgr_reduce(self) -> None:
+        op = self._op
+        payloads: dict[tuple[int, int], list[tuple[int, Any]]] = {}
+        for host in range(self.cluster.num_hosts):
+            combined = self.reductions[host].collect(op) if op else {}
+            for key, value in combined.items():
+                owner = self.owner_of(key)
+                if owner == host:
+                    self._apply_at_owner(owner, key, value, op)
+                else:
+                    payloads.setdefault((host, owner), []).append((key, value))
+        for (src, dst), items in payloads.items():
+            self.cluster.network.send(
+                src, dst, (KEY_BYTES + self.value_nbytes) * len(items)
+            )
+            for key, value in items:
+                self._apply_at_owner(dst, key, value, op)
+        for store in self.stores:
+            store.drop_remote()
+
+    def _apply_at_owner(self, owner: int, key: int, value: Any, op: ReduceOp) -> None:
+        changed = self.stores[owner].apply_master(key, value, op)
+        if changed:
+            self._any_updated = True
+            if self.variant.uses_gar:
+                self._updated_masters[owner].add(key)
+                self._next_active[owner].add(key)
+
+    # ------------------------------------------------------- pinned mirrors
+
+    def pin_mirrors(self, invariant: str = "none") -> None:
+        """Materialize mirror properties and broadcast master values to them.
+
+        ``invariant`` applies Gluon's partitioning-invariant elisions:
+        ``"push"`` only feeds mirrors that have outgoing edges (push-style
+        operators never read the others), ``"pull"`` only those with
+        incoming edges, ``"none"`` feeds all mirrors.
+        """
+        if invariant not in ("none", "push", "pull"):
+            raise ValueError(f"unknown invariant {invariant!r}")
+        self._pinned = True
+        self._pin_invariant = invariant
+        for store in self.stores:
+            store.pin()
+        if self.variant.uses_gar:
+            with self.cluster.phase(
+                PhaseKind.BROADCAST_SYNC, label=f"{self.name}:pin"
+            ):
+                self._broadcast(full=True)
+        else:
+            # Non-GAR variants cannot broadcast (no partition awareness);
+            # the pinned mirrors join the per-round refetch set instead.
+            with self.cluster.phase(
+                PhaseKind.REQUEST_SYNC, label=f"{self.name}:pin-fetch"
+            ):
+                if self.variant.uses_kvstore:
+                    self._kv_fetch_requests(include_always=True)
+                else:
+                    requests = [
+                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
+                        for store in self.stores
+                    ]
+                    self._serve_requests(requests)
+
+    def unpin_mirrors(self) -> None:
+        self._pinned = False
+        for store in self.stores:
+            store.unpin()
+
+    def broadcast_sync(self) -> None:
+        """Push updated master values to pinned mirrors (one-way traffic)."""
+        if not self._pinned or not self.variant.uses_gar:
+            return
+        with self.cluster.phase(PhaseKind.BROADCAST_SYNC, label=self.name):
+            self._broadcast(full=False)
+
+    def _mirror_targets(self, invariant: str) -> list[dict[int, np.ndarray]]:
+        """fan-out[owner][mirror_host] -> global ids to feed, after elision."""
+        cached = self._mirror_filter_cache.get(invariant)
+        if cached is not None:
+            return cached
+        fan_out: list[dict[int, np.ndarray]] = [
+            {} for _ in range(self.cluster.num_hosts)
+        ]
+        for owner_host, pairs in enumerate(self.pgraph.mirror_hosts_by_owner):
+            for mirror_host, ids in pairs:
+                part = self.pgraph.parts[mirror_host]
+                if invariant == "none":
+                    kept = ids
+                else:
+                    locals_ = np.asarray([part.global_to_local[int(g)] for g in ids])
+                    if invariant == "push":
+                        degrees = part.indptr[locals_ + 1] - part.indptr[locals_]
+                    else:
+                        degrees = part.in_degrees[locals_]
+                    kept = ids[degrees > 0]
+                if kept.size:
+                    fan_out[owner_host][mirror_host] = kept
+        self._mirror_filter_cache[invariant] = fan_out
+        return fan_out
+
+    def _broadcast(self, full: bool) -> None:
+        fan_out = self._mirror_targets(self._pin_invariant)
+        for owner_host in range(self.cluster.num_hosts):
+            pending = self._updated_masters[owner_host]
+            for mirror_host, ids in fan_out[owner_host].items():
+                if full:
+                    selected = ids
+                else:
+                    if not pending:
+                        continue
+                    selected = np.asarray(
+                        [g for g in ids.tolist() if g in pending], dtype=np.int64
+                    )
+                if selected.size == 0:
+                    continue
+                self.cluster.network.send(
+                    owner_host,
+                    mirror_host,
+                    (KEY_BYTES + self.value_nbytes) * selected.size,
+                )
+                for key in selected.tolist():
+                    value = self.stores[owner_host].serve_master(key)
+                    self.stores[mirror_host].write_mirror(key, value)
+                    if not full:
+                        self._next_active[mirror_host].add(key)
+            if not full:
+                # keys may have mirrors on several hosts; only clear after
+                # the whole fan-out above ran for this owner
+                pass
+        for owner_host in range(self.cluster.num_hosts):
+            self._updated_masters[owner_host].clear()
+
+    # --------------------------------------------------------------- helpers
+
+    def set_initial(self, value_of: Callable[[int], Any]) -> None:
+        """Initialize every node's canonical property (an init ParFor)."""
+        with self.cluster.phase(PhaseKind.INIT, label=f"{self.name}:init"):
+            for host in range(self.cluster.num_hosts):
+                counters = self.cluster.counters(host)
+                for key in self.pgraph.parts[host].masters_global.tolist():
+                    counters.node_iters += 1
+                    self.set(host, key, value_of(key))
+        self._report_memory()
+        if not self.variant.uses_gar:
+            with self.cluster.phase(
+                PhaseKind.REQUEST_SYNC, label=f"{self.name}:init-fetch"
+            ):
+                if self.variant.uses_kvstore:
+                    self._kv_fetch_requests(include_always=True)
+                else:
+                    requests = [
+                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
+                        for store in self.stores
+                    ]
+                    self._serve_requests(requests)
+
+    def reset_values(self, value_of: Callable[[int], Any]) -> None:
+        """Reinitialize every canonical value (a fresh init ParFor).
+
+        Lets per-round scratch maps (e.g. Boruvka's best-edge map) be
+        reused instead of reallocated; costs the same as set_initial.
+        """
+        self._op = None
+        self._any_updated = False
+        for pending in self._updated_masters:
+            pending.clear()
+        self.set_initial(value_of)
+
+    def snapshot(self) -> dict[int, Any]:
+        """All canonical master values, for verification (not charged)."""
+        result: dict[int, Any] = {}
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            for key in range(self.pgraph.num_nodes):
+                entry = self.kv_client.servers[
+                    self.kv_client.server_of(self._kv_key(key))
+                ].get(self._kv_key(key))
+                if entry is not None:
+                    result[key] = entry[0]
+            return result
+        for host in range(self.cluster.num_hosts):
+            store = self.stores[host]
+            if isinstance(store, GarHostStore):
+                for local, key in enumerate(store.part.masters_global.tolist()):
+                    value = store.values[local]
+                    if value is not None:
+                        result[key] = value
+            else:
+                assert isinstance(store, HashHostStore)
+                result.update(store.owned)
+        return result
+
+    def pending_reductions(self) -> int:
+        return sum(reduction.pending() for reduction in self.reductions)

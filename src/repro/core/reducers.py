@@ -1,0 +1,35 @@
+"""Reduction operators for node-property maps.
+
+``Reduce()`` takes an associative, commutative function (Section 3.1). The
+named instances below cover every algorithm in the paper: ``MIN`` for the
+connected-components family, ``SUM`` for Louvain/Leiden cluster totals,
+``PAIR_MIN``/``PAIR_MAX`` for lexicographic (weight, id) reductions in
+Boruvka MSF and priority MIS, ``LOGICAL_OR`` for the work-done reducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named associative+commutative binary operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, left: Any, right: Any) -> Any:
+        return self.fn(left, right)
+
+
+MIN = ReduceOp("min", min)
+MAX = ReduceOp("max", max)
+SUM = ReduceOp("sum", lambda a, b: a + b)
+LOGICAL_OR = ReduceOp("or", lambda a, b: bool(a) or bool(b))
+LOGICAL_AND = ReduceOp("and", lambda a, b: bool(a) and bool(b))
+# Tuples compare lexicographically, so min/max work directly; the aliases
+# exist to make call sites state their intent (reduce-by-(key, payload)).
+PAIR_MIN = ReduceOp("pair_min", min)
+PAIR_MAX = ReduceOp("pair_max", max)

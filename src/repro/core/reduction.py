@@ -1,0 +1,191 @@
+"""Reduction strategies: how concurrent Reduce() calls are absorbed.
+
+Three strategies, matching Section 4.2 and the Section 6.4 variants:
+
+* :class:`ThreadLocalReduction` (CF) - every virtual thread owns a private
+  map during reduce-compute; the combining step of reduce-sync deals
+  disjoint key ranges to threads. Conflicts are impossible by construction.
+* :class:`SharedMapReduction` - one concurrent map per host; all threads
+  reduce into it with CAS. Concurrent same-key updates from distinct
+  threads are counted as conflicts (priced heavily by the cost model:
+  cache-line ping-pong plus retry). This is what throttles Pregel-style
+  systems on power-law graphs.
+* :class:`KvCasReduction` (MC) - reductions are get+CAS retry loops against
+  the distributed key-value store, with per-attempt network messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.cluster import Cluster
+from repro.core.reducers import ReduceOp
+from repro.kvstore.client import KvClient
+
+KV_RETRY_CAP = 8
+
+
+class ThreadLocalReduction:
+    """Conflict-free (CF): one private map per virtual thread."""
+
+    conflict_free = True
+
+    def __init__(
+        self, cluster: Cluster, host_id: int, serial_combine: bool = False
+    ) -> None:
+        self.cluster = cluster
+        self.host_id = host_id
+        self.serial_combine = serial_combine
+        self.maps: list[dict[int, Any]] = [
+            {} for _ in range(cluster.threads_per_host)
+        ]
+
+    def reduce(self, thread: int, key: int, value: Any, op: ReduceOp) -> None:
+        counters = self.cluster.counters(self.host_id)
+        counters.reduce_calls += 1
+        local_map = self.maps[thread]
+        if key in local_map:
+            local_map[key] = op(local_map[key], value)
+        else:
+            local_map[key] = value
+
+    def pending(self) -> int:
+        return sum(len(m) for m in self.maps)
+
+    def collect(self, op: ReduceOp) -> dict[int, Any]:
+        """The combining step (Figure 7): disjoint key ranges per thread.
+
+        Charged to the calling phase (reduce-sync), matching the paper's
+        observation that CF shifts combining cost into communication time.
+        """
+        counters = self.cluster.counters(self.host_id)
+        total_entries = sum(len(m) for m in self.maps)
+        # Each entry is scanned while filtering by range and combined once.
+        combine_cost = 2 * total_entries
+        if self.serial_combine:
+            # Ablation: a single thread combines all thread-local maps.
+            # The phase is priced divided by the thread count, so charging
+            # T times the work models zero parallel speedup.
+            combine_cost *= self.cluster.threads_per_host
+        counters.combine_ops += combine_cost
+        combined: dict[int, Any] = {}
+        for local_map in self.maps:
+            for key, value in local_map.items():
+                if key in combined:
+                    combined[key] = op(combined[key], value)
+                else:
+                    combined[key] = value
+            local_map.clear()
+        return combined
+
+
+class SharedMapReduction:
+    """One shared concurrent map; same-key cross-thread updates conflict."""
+
+    conflict_free = False
+
+    def __init__(self, cluster: Cluster, host_id: int) -> None:
+        self.cluster = cluster
+        self.host_id = host_id
+        self.map: dict[int, Any] = {}
+        self._writers: dict[int, set[int]] = {}
+        self._map_writers: set[int] = set()
+        self._write_count = 0
+
+    def reduce(self, thread: int, key: int, value: Any, op: ReduceOp) -> None:
+        counters = self.cluster.counters(self.host_id)
+        counters.cas_attempts += 1
+        counters.hash_probes += 1
+        writers = self._writers.setdefault(key, set())
+        writers.add(thread)
+        if len(writers) > 1:
+            # A second (or later) thread is hammering the same slot: under
+            # real interleaving nearly every such update pays a failed CAS
+            # and a cache-line transfer.
+            counters.cas_conflicts += 1
+        # Structural contention: a concurrent hash map takes bucket locks /
+        # CAS-es control words on every write, so once several threads
+        # write the *same map*, even distinct-key writes collide regularly
+        # (modeled at a deterministic 1-in-2 rate).
+        self._map_writers.add(thread)
+        self._write_count += 1
+        if len(self._map_writers) > 1 and self._write_count % 2 == 0:
+            counters.cas_conflicts += 1
+        if key in self.map:
+            self.map[key] = op(self.map[key], value)
+        else:
+            self.map[key] = value
+
+    def pending(self) -> int:
+        return len(self.map)
+
+    def collect(self, op: ReduceOp) -> dict[int, Any]:
+        del op  # combining happened eagerly, amortized into compute
+        combined = self.map
+        self.map = {}
+        self._writers.clear()
+        self._map_writers.clear()
+        self._write_count = 0
+        return combined
+
+
+class KvCasReduction:
+    """Distributed CAS retry loops against the key-value store (MC variant).
+
+    Reductions apply *immediately* to the canonical value in the store
+    (ReduceSync is then a no-op, Section 6.4). Contention is modeled from
+    the number of distinct (host, thread) writers per key this round: each
+    additional concurrent writer costs one failed round trip, capped.
+    """
+
+    conflict_free = False
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        host_id: int,
+        client: KvClient,
+        key_fn: Callable[[int], str],
+        phase_writers: dict[int, set[tuple[int, int]]],
+        on_change: Callable[[int], None],
+    ) -> None:
+        self.cluster = cluster
+        self.host_id = host_id
+        self.client = client
+        self.key_fn = key_fn
+        self.phase_writers = phase_writers
+        self.on_change = on_change
+
+    def reduce(self, thread: int, key: int, value: Any, op: ReduceOp) -> None:
+        counters = self.cluster.counters(self.host_id)
+        writers = self.phase_writers.setdefault(key, set())
+        writers.add((self.host_id, thread))
+        retries = min(len(writers) - 1, KV_RETRY_CAP)
+        # Failed attempts: each one is a wasted get + cas round trip.
+        string_key = self.key_fn(key)
+        for _ in range(retries):
+            self.client.get(self.host_id, string_key)
+            self.client.get(self.host_id, string_key)  # the cas leg
+            counters.cas_attempts += 1
+            counters.cas_conflicts += 1
+        # The successful attempt.
+        current = self.client.get(self.host_id, string_key)
+        counters.cas_attempts += 1
+        if current is None:
+            new = value
+            self.client.set(self.host_id, string_key, new)
+            self.on_change(key)
+        else:
+            old_value, version = current
+            new = op(old_value, value)
+            self.client.cas(self.host_id, string_key, new, version)
+            if new != old_value:
+                self.on_change(key)
+
+    def pending(self) -> int:
+        return 0
+
+    def collect(self, op: ReduceOp) -> dict[int, Any]:
+        del op
+        self.phase_writers.clear()
+        return {}

@@ -1,0 +1,40 @@
+"""Runtime variants of the node-property map (Section 6.4, Figure 11).
+
+The paper isolates its three optimizations by building four runtimes that
+all execute the same compiler-generated programs:
+
+* ``MC``        - Memcached-backed: modulo-hashed string keys, per-op
+  messages, reductions as distributed CAS retry loops, ReduceSync a no-op.
+* ``SGR_ONLY``  - scatter-gather-reduce with one shared concurrent map per
+  host (modulo-hashed ownership); concurrent same-key reductions conflict.
+* ``SGR_CF``    - adds conflict-free thread-local maps.
+* ``KIMBAP``    - adds the graph-partition-aware representation (and with
+  it pinned mirrors); the default.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RuntimeVariant(enum.Enum):
+    MC = "mc"
+    SGR_ONLY = "sgr-only"
+    SGR_CF = "sgr+cf"
+    KIMBAP = "sgr+cf+gar"
+
+    @property
+    def uses_gar(self) -> bool:
+        return self is RuntimeVariant.KIMBAP
+
+    @property
+    def uses_thread_local_maps(self) -> bool:
+        return self in (RuntimeVariant.SGR_CF, RuntimeVariant.KIMBAP)
+
+    @property
+    def uses_kvstore(self) -> bool:
+        return self is RuntimeVariant.MC
+
+    @property
+    def label(self) -> str:
+        return self.value

@@ -1,0 +1,27 @@
+"""Evaluation harness: workload registry, run drivers, and table printers.
+
+Everything the benchmark modules under ``benchmarks/`` share: the Table 1
+graph analogs (:mod:`repro.eval.workloads`), one-call runners that build
+cluster + partition + algorithm and return a structured row
+(:mod:`repro.eval.harness`), and the text renderers that print rows the
+way the paper's tables and figures report them
+(:mod:`repro.eval.reporting`).
+"""
+
+from repro.eval.workloads import GRAPHS, GraphSpec, load_graph, medium_host_counts
+from repro.eval.harness import RunResult, run_galois, run_gluon, run_kimbap, run_vite
+from repro.eval.reporting import format_table, print_series
+
+__all__ = [
+    "GRAPHS",
+    "GraphSpec",
+    "load_graph",
+    "medium_host_counts",
+    "RunResult",
+    "run_kimbap",
+    "run_vite",
+    "run_gluon",
+    "run_galois",
+    "format_table",
+    "print_series",
+]

@@ -1,0 +1,44 @@
+"""Plain-text renderers for paper-style tables and scaling series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.eval.harness import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_series(title: str, results: Iterable[RunResult]) -> str:
+    """One strong-scaling series: hosts vs modeled seconds (a figure line)."""
+    rows = [
+        (r.system, r.hosts, f"{r.time.computation:.3f}", f"{r.time.communication:.3f}", f"{r.total:.3f}")
+        for r in results
+    ]
+    body = format_table(
+        ("system", "hosts", "comp (s)", "comm (s)", "total (s)"), rows
+    )
+    text = f"\n== {title} ==\n{body}"
+    print(text)
+    return text
+
+
+def speedup(baseline: RunResult, contender: RunResult) -> float:
+    """How many times faster the contender is than the baseline."""
+    if contender.total == 0:
+        return float("inf")
+    return baseline.total / contender.total

@@ -1,0 +1,93 @@
+"""Workload registry: the Table 1 input-graph analogs.
+
+Each paper graph maps to a synthetic analog ~10^4x smaller that keeps the
+structural property the evaluation exploits (see DESIGN.md section 3).
+``REPRO_BENCH_SCALE`` scales every analog up or down (integer offset on the
+RMAT scale / multiplier on grid rows) so benchmark cost is tunable.
+
+=============  =================  ==========================  =========
+paper graph    analog             signature preserved          category
+=============  =================  ==========================  =========
+road-europe    road_like          high diameter, degree ~4     medium
+friendster     powerlaw_like      power-law, few huge hubs     medium
+clueweb12      web_like           denser power-law             large
+wdc12          web_like_xl        densest, most skewed         large
+=============  =================  ==========================  =========
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph import generators
+from repro.graph.csr import Graph
+
+
+def bench_scale() -> int:
+    """Integer scale offset from the REPRO_BENCH_SCALE env var (default 0)."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", "0"))
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    name: str
+    paper_name: str
+    category: str  # "medium" | "large"
+    factory: Callable[[int, bool], Graph]
+    host_counts: tuple[int, ...]
+
+
+def _road(scale: int, weighted: bool) -> Graph:
+    rows = max(48 * (2**scale), 8)
+    return generators.road_like(rows, 16, seed=7, weighted=weighted)
+
+
+def _powerlaw(scale: int, weighted: bool) -> Graph:
+    return generators.powerlaw_like(max(9 + scale, 5), seed=7, weighted=weighted)
+
+
+def _web(scale: int, weighted: bool) -> Graph:
+    return generators.web_like(max(10 + scale, 5), seed=11, weighted=weighted)
+
+
+def _web_xl(scale: int, weighted: bool) -> Graph:
+    return generators.web_like_xl(max(11 + scale, 5), seed=13, weighted=weighted)
+
+
+GRAPHS: dict[str, GraphSpec] = {
+    "road": GraphSpec(
+        "road", "road-europe", "medium", _road, host_counts=(1, 2, 4, 8, 16)
+    ),
+    "powerlaw": GraphSpec(
+        "powerlaw", "friendster", "medium", _powerlaw, host_counts=(1, 2, 4, 8, 16)
+    ),
+    "web": GraphSpec(
+        "web", "clueweb12", "large", _web, host_counts=(32, 64, 128)
+    ),
+    "web_xl": GraphSpec(
+        "web_xl", "wdc12", "large", _web_xl, host_counts=(128, 256)
+    ),
+}
+
+_cache: dict[tuple[str, bool, int], Graph] = {}
+
+
+def load_graph(name: str, weighted: bool = False, scale: int | None = None) -> Graph:
+    """Build (and memoize) a workload graph at the configured scale."""
+    if name not in GRAPHS:
+        raise ValueError(f"unknown workload {name!r}; have {sorted(GRAPHS)}")
+    scale = bench_scale() if scale is None else scale
+    key = (name, weighted, scale)
+    if key not in _cache:
+        _cache[key] = GRAPHS[name].factory(scale, weighted)
+    return _cache[key]
+
+
+def medium_host_counts() -> tuple[int, ...]:
+    return GRAPHS["road"].host_counts
+
+
+def paper_name(name: str) -> str:
+    return GRAPHS[name].paper_name

@@ -1,0 +1,7 @@
+"""Graph substrate: CSR storage, synthetic generators, IO, and statistics."""
+
+from repro.graph.csr import Graph
+from repro.graph.stats import GraphStats, compute_stats
+from repro.graph import generators, io
+
+__all__ = ["Graph", "GraphStats", "compute_stats", "generators", "io"]

@@ -1,0 +1,135 @@
+"""Graph serialization: whitespace edge-list text and NPZ binary formats."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+
+def save_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write ``src dst [weight]`` lines; first line is ``# nodes <n>``."""
+    srcs = graph.edge_sources()
+    with open(path, "w") as handle:
+        handle.write(f"# nodes {graph.num_nodes}\n")
+        if graph.weights is None:
+            for src, dst in zip(srcs.tolist(), graph.indices.tolist()):
+                handle.write(f"{src} {dst}\n")
+        else:
+            for src, dst, weight in zip(
+                srcs.tolist(), graph.indices.tolist(), graph.weights.tolist()
+            ):
+                handle.write(f"{src} {dst} {weight}\n")
+
+
+def load_edge_list(path: str | os.PathLike) -> Graph:
+    """Read the format written by :func:`save_edge_list`.
+
+    Files without the ``# nodes`` header are accepted; the node count is then
+    inferred as ``max(node id) + 1``.
+    """
+    num_nodes = None
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "nodes":
+                    num_nodes = int(parts[1])
+                continue
+            parts = line.split()
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) > 2:
+                weights.append(float(parts[2]))
+    if num_nodes is None:
+        num_nodes = max(max(srcs, default=-1), max(dsts, default=-1)) + 1
+    if weights and len(weights) != len(srcs):
+        raise ValueError("some edges have weights and some do not")
+    return Graph.from_arrays(
+        num_nodes,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights) if weights else None,
+    )
+
+
+def save_metis(graph: Graph, path: str | os.PathLike) -> None:
+    """Write METIS adjacency format (1-indexed; symmetric graphs only).
+
+    METIS counts each undirected edge once in the header; the body lists
+    every node's neighbors (with ``dst weight`` pairs when weighted).
+    """
+    if not graph.is_symmetric():
+        raise ValueError("METIS files describe undirected (symmetric) graphs")
+    num_undirected = graph.num_edges // 2
+    weighted = graph.weights is not None
+    with open(path, "w") as handle:
+        fmt = " 1" if weighted else ""
+        handle.write(f"{graph.num_nodes} {num_undirected}{fmt}\n")
+        for node in graph.nodes():
+            parts = []
+            for edge in graph.edge_range(node):
+                parts.append(str(graph.edge_dst(edge) + 1))
+                if weighted:
+                    parts.append(str(graph.edge_weight(edge)))
+            handle.write(" ".join(parts) + "\n")
+
+
+def load_metis(path: str | os.PathLike) -> Graph:
+    """Read METIS adjacency format (edge weights supported, fmt '1')."""
+    with open(path) as handle:
+        # blank lines are meaningful (isolated nodes); only comments drop
+        lines = [
+            line.rstrip("\n") for line in handle if not line.startswith("%")
+        ]
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    header = lines[0].split()
+    num_nodes = int(header[0])
+    weighted = len(header) > 2 and header[2].endswith("1")
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    body = lines[1 : 1 + num_nodes]
+    trailing = lines[1 + num_nodes :]
+    if len(body) != num_nodes or any(line.strip() for line in trailing):
+        raise ValueError(
+            f"METIS header declares {num_nodes} nodes but file has "
+            f"{len(lines) - 1} adjacency lines"
+        )
+    lines = [lines[0]] + body
+    for node, line in enumerate(lines[1:]):
+        tokens = line.split()
+        step = 2 if weighted else 1
+        for index in range(0, len(tokens), step):
+            srcs.append(node)
+            dsts.append(int(tokens[index]) - 1)
+            if weighted:
+                weights.append(float(tokens[index + 1]))
+    return Graph.from_arrays(
+        num_nodes,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights) if weighted else None,
+    )
+
+
+def save_npz(graph: Graph, path: str | os.PathLike) -> None:
+    arrays = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str | os.PathLike) -> Graph:
+    with np.load(path) as data:
+        weights = data["weights"] if "weights" in data else None
+        return Graph(data["indptr"], data["indices"], weights)

@@ -1,0 +1,84 @@
+"""Graph statistics: the columns of the paper's Table 1 plus a diameter probe."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Table 1 row: |V|, |E|, |E|/|V|, max degree, plus extras for context."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    approx_diameter: int
+    size_mb: float
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            round(self.avg_degree, 1),
+            self.max_degree,
+            self.approx_diameter,
+            round(self.size_mb, 2),
+        )
+
+
+def approx_diameter(graph: Graph, num_probes: int = 4, seed: int = 0) -> int:
+    """Lower-bound the diameter with a few double-sweep BFS probes."""
+    if graph.num_nodes == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    best = 0
+    start = int(rng.integers(0, graph.num_nodes))
+    for _ in range(num_probes):
+        dist = _bfs_eccentricity(graph, start)
+        reached = dist >= 0
+        if not reached.any():
+            break
+        eccentricity = int(dist[reached].max())
+        best = max(best, eccentricity)
+        # Double sweep: restart from the farthest reached node.
+        start = int(np.flatnonzero(dist == eccentricity)[0])
+    return best
+
+
+def _bfs_eccentricity(graph: Graph, start: int) -> np.ndarray:
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[start] = 0
+    frontier = [start]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if dist[neighbor] < 0:
+                    dist[neighbor] = level
+                    next_frontier.append(int(neighbor))
+        frontier = next_frontier
+    return dist
+
+
+def compute_stats(name: str, graph: Graph) -> GraphStats:
+    size_bytes = graph.indptr.nbytes + graph.indices.nbytes
+    if graph.weights is not None:
+        size_bytes += graph.weights.nbytes
+    return GraphStats(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        avg_degree=graph.num_edges / max(graph.num_nodes, 1),
+        max_degree=graph.max_degree(),
+        approx_diameter=approx_diameter(graph),
+        size_mb=size_bytes / 2**20,
+    )

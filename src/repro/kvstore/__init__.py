@@ -1,0 +1,12 @@
+"""A Memcached-like distributed in-memory key-value store.
+
+Substrate for the paper's MC runtime variant (Section 6.4): string keys,
+modulo hashing across servers, per-operation messages, get/mget/set and
+compare-and-swap. One server runs on every simulated host, exactly as the
+paper co-locates a Memcached server and client per host.
+"""
+
+from repro.kvstore.store import KvServer, CasResult
+from repro.kvstore.client import KvClient
+
+__all__ = ["KvServer", "KvClient", "CasResult"]

@@ -1,0 +1,81 @@
+"""The server side: a versioned dictionary with CAS semantics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class CasResult(enum.Enum):
+    STORED = "stored"
+    EXISTS = "exists"  # version mismatch: somebody raced us
+    NOT_FOUND = "not_found"
+
+
+@dataclass
+class _Entry:
+    value: Any
+    version: int
+
+
+@dataclass
+class KvServer:
+    """One host's key-value store shard.
+
+    Versions increment on every successful write, which is what makes
+    compare-and-swap detect concurrent reducers (the paper's reduction
+    emulation retries CAS until it succeeds).
+    """
+
+    server_id: int
+    _data: dict[str, _Entry] = field(default_factory=dict)
+
+    def get(self, key: str) -> tuple[Any, int] | None:
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        return entry.value, entry.version
+
+    def mget(self, keys: list[str]) -> dict[str, tuple[Any, int]]:
+        result = {}
+        for key in keys:
+            entry = self._data.get(key)
+            if entry is not None:
+                result[key] = (entry.value, entry.version)
+        return result
+
+    def set(self, key: str, value: Any) -> int:
+        entry = self._data.get(key)
+        if entry is None:
+            self._data[key] = _Entry(value, 1)
+            return 1
+        entry.value = value
+        entry.version += 1
+        return entry.version
+
+    def add(self, key: str, value: Any) -> bool:
+        """Store only if absent (memcached ``add``); False if present."""
+        if key in self._data:
+            return False
+        self._data[key] = _Entry(value, 1)
+        return True
+
+    def cas(self, key: str, value: Any, version: int) -> CasResult:
+        entry = self._data.get(key)
+        if entry is None:
+            return CasResult.NOT_FOUND
+        if entry.version != version:
+            return CasResult.EXISTS
+        entry.value = value
+        entry.version += 1
+        return CasResult.STORED
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def flush(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,19 @@
+"""Graph partitioning: edge-cut and vertex-cut policies with master/mirror proxies."""
+
+from repro.partition.base import LocalPartition, PartitionedGraph, build_partitioned
+from repro.partition.edge_cut import OutgoingEdgeCut, IncomingEdgeCut
+from repro.partition.cartesian import CartesianVertexCut
+from repro.partition.hybrid import HybridVertexCut
+from repro.partition.policies import POLICIES, partition
+
+__all__ = [
+    "LocalPartition",
+    "PartitionedGraph",
+    "build_partitioned",
+    "OutgoingEdgeCut",
+    "IncomingEdgeCut",
+    "CartesianVertexCut",
+    "HybridVertexCut",
+    "POLICIES",
+    "partition",
+]

@@ -1,0 +1,37 @@
+"""Edge-cut partitioning policies.
+
+An edge-cut assigns *all* outgoing (or all incoming) edges of a node to the
+node's owner host, so mirrors have no outgoing (respectively incoming)
+edges - the structural invariant Gluon's communication elisions exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.partition.base import PartitionedGraph, balanced_node_blocks, build_partitioned
+
+
+class OutgoingEdgeCut:
+    """OEC: edge (u, v) lives on owner(u); contiguous degree-balanced owners."""
+
+    name = "oec"
+
+    def partition(self, graph: Graph, num_hosts: int) -> PartitionedGraph:
+        owner = balanced_node_blocks(graph, num_hosts)
+        owner = np.minimum(owner, num_hosts - 1)
+        edge_host = owner[graph.edge_sources()]
+        return build_partitioned(graph, self.name, owner, edge_host, num_hosts=num_hosts)
+
+
+class IncomingEdgeCut:
+    """IEC: edge (u, v) lives on owner(v)."""
+
+    name = "iec"
+
+    def partition(self, graph: Graph, num_hosts: int) -> PartitionedGraph:
+        owner = balanced_node_blocks(graph, num_hosts)
+        owner = np.minimum(owner, num_hosts - 1)
+        edge_host = owner[graph.indices]
+        return build_partitioned(graph, self.name, owner, edge_host, num_hosts=num_hosts)

@@ -1,0 +1,34 @@
+"""Policy registry and the one-call partitioning entry point."""
+
+from __future__ import annotations
+
+from repro.graph.csr import Graph
+from repro.partition.base import PartitionedGraph
+from repro.partition.cartesian import CartesianVertexCut
+from repro.partition.edge_cut import IncomingEdgeCut, OutgoingEdgeCut
+from repro.partition.hybrid import HybridVertexCut
+
+POLICIES = {
+    policy.name: policy
+    for policy in (
+        OutgoingEdgeCut(),
+        IncomingEdgeCut(),
+        CartesianVertexCut(),
+        HybridVertexCut(),
+    )
+}
+
+
+def partition(graph: Graph, num_hosts: int, policy: str = "oec") -> PartitionedGraph:
+    """Partition ``graph`` over ``num_hosts`` with the named policy.
+
+    The paper's experiments use ``cvc`` for CC/MSF/MIS and an edge-cut
+    (``oec`` here) for LV/LD, because Vite only supports edge-cuts.
+    """
+    if num_hosts < 1:
+        raise ValueError("need at least one host")
+    try:
+        chosen = POLICIES[policy]
+    except KeyError:
+        raise ValueError(f"unknown policy {policy!r}; have {sorted(POLICIES)}") from None
+    return chosen.partition(graph, num_hosts)

@@ -1,0 +1,13 @@
+"""BSP runtime: phase drivers for vertex-centric programs.
+
+The engine executes the paper's four-phase rounds (request-compute,
+request-sync, reduce-compute, reduce-sync) over the simulated cluster.
+Hand-written kernels (and the compiler's interpreted programs) use
+:func:`par_for` for compute phases and the node-property map's collective
+methods for sync phases.
+"""
+
+from repro.runtime.engine import OperatorContext, par_for, kimbap_while
+from repro.runtime.bool_reducer import BoolReducer
+
+__all__ = ["OperatorContext", "par_for", "kimbap_while", "BoolReducer"]

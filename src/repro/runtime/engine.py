@@ -1,0 +1,119 @@
+"""Compute-phase drivers: ParFor over partitions and the KimbapWhile loop.
+
+``par_for`` is the runtime realization of the paper's ParFor: it visits the
+chosen iteration set on every host, dealing items to virtual threads with
+OpenMP-static chunking, and charges one ``node_iters`` event per active
+node. The operator body receives an :class:`OperatorContext` exposing
+host/thread/partition plus convenience edge iteration that charges
+``edge_iters``.
+
+``kimbap_while`` realizes the quiescence loop: repeat the round body until
+none of the given node-property maps changed in a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.propmap import NodePropMap
+from repro.partition.base import LocalPartition, PartitionedGraph
+
+ITERATION_MODES = ("masters", "all")
+
+
+@dataclass
+class OperatorContext:
+    """Everything an operator body may touch for one active node."""
+
+    cluster: Cluster
+    part: LocalPartition
+    host: int
+    thread: int
+    local: int  # active node, local id
+    node: int  # active node, global id
+
+    def edges(self) -> Iterator[int]:
+        """Local edge indices of the active node; charges per edge."""
+        counters = self.cluster.counters(self.host)
+        for edge in self.part.edge_range(self.local):
+            counters.edge_iters += 1
+            yield edge
+
+    def edge_dst_local(self, edge: int) -> int:
+        return self.part.edge_dst(edge)
+
+    def edge_dst(self, edge: int) -> int:
+        """Global id of the edge's destination."""
+        return int(self.part.local_to_global[self.part.edge_dst(edge)])
+
+    def edge_weight(self, edge: int) -> float:
+        return self.part.edge_weight(edge)
+
+    def charge(self, ops: int = 1) -> None:
+        """Charge generic operator-body ALU work."""
+        self.cluster.counters(self.host).local_ops += ops
+
+
+def _iteration_set(part: LocalPartition, mode: str) -> range:
+    if mode == "masters":
+        return range(part.num_masters)
+    if mode == "all":
+        return range(part.num_local)
+    raise ValueError(f"unknown iteration mode {mode!r}; have {ITERATION_MODES}")
+
+
+def par_for(
+    cluster: Cluster,
+    pgraph: PartitionedGraph,
+    mode: str,
+    body: Callable[[OperatorContext], None],
+    kind: PhaseKind = PhaseKind.REDUCE_COMPUTE,
+    label: str = "",
+) -> None:
+    """Run ``body`` once per active node on every host, inside one phase."""
+    with cluster.phase(kind, label=label):
+        for host in range(cluster.num_hosts):
+            part = pgraph.parts[host]
+            items = _iteration_set(part, mode)
+            total = len(items)
+            counters = cluster.counters(host)
+            for index, local in enumerate(items):
+                counters.node_iters += 1
+                thread = cluster.thread_of(index, total)
+                body(
+                    OperatorContext(
+                        cluster=cluster,
+                        part=part,
+                        host=host,
+                        thread=thread,
+                        local=local,
+                        node=int(part.local_to_global[local]),
+                    )
+                )
+
+
+def kimbap_while(
+    maps: Sequence[NodePropMap] | NodePropMap,
+    round_body: Callable[[], None],
+    max_rounds: int = 100000,
+) -> int:
+    """Repeat ``round_body`` until none of ``maps`` updated; returns rounds.
+
+    ``round_body`` is one full BSP round: compute phases plus the sync
+    collectives (which is where the maps' updated flags get set).
+    """
+    if isinstance(maps, NodePropMap):
+        maps = [maps]
+    rounds = 0
+    while True:
+        for prop_map in maps:
+            prop_map.reset_updated()
+        round_body()
+        rounds += 1
+        if not any(prop_map.is_updated() for prop_map in maps):
+            return rounds
+        if rounds >= max_rounds:
+            raise RuntimeError(f"KimbapWhile did not quiesce in {max_rounds} rounds")

@@ -1,0 +1,29 @@
+"""Shared fixtures: small graphs and clusters used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.graph import generators
+from repro.partition import partition
+
+
+@pytest.fixture
+def road_graph():
+    return generators.road_like(8, 4, seed=1)
+
+
+@pytest.fixture
+def powerlaw_graph():
+    return generators.powerlaw_like(6, seed=3)
+
+
+@pytest.fixture
+def cluster4():
+    return Cluster(4, threads_per_host=8)
+
+
+@pytest.fixture
+def road_pgraph(road_graph):
+    return partition(road_graph, 4, "oec")

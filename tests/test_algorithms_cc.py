@@ -1,0 +1,138 @@
+"""Connected-components algorithms: correctness against networkx ground truth."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import cc_lp, cc_sclp, cc_sv
+from repro.cluster import Cluster
+from repro.core import RuntimeVariant
+from repro.graph import generators
+from repro.partition import partition
+
+ALGORITHMS = {"lp": cc_lp, "sv": cc_sv, "sclp": cc_sclp}
+
+GRAPHS = {
+    "road": generators.road_like(8, 4, seed=1),
+    "powerlaw": generators.powerlaw_like(6, seed=3),
+    "two_components": generators.disjoint_union(
+        generators.path(7), generators.cycle(5)
+    ),
+    "star": generators.star(15),
+    "singletons": generators.disjoint_union(
+        generators.path(2), generators.path(2)
+    ),
+}
+
+
+def expected_components(graph):
+    expected = {}
+    for component in nx.connected_components(graph.to_networkx().to_undirected()):
+        smallest = min(component)
+        for node in component:
+            expected[node] = smallest
+    return expected
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("policy,num_hosts", [("cvc", 4), ("oec", 3), ("oec", 1)])
+class TestCorrectness:
+    def test_matches_networkx(self, algorithm, graph_name, policy, num_hosts):
+        graph = GRAPHS[graph_name]
+        pgraph = partition(graph, num_hosts, policy)
+        cluster = Cluster(num_hosts, threads_per_host=4)
+        result = ALGORITHMS[algorithm](cluster, pgraph)
+        expected = expected_components(graph)
+        assert {n: result.values[n] for n in range(graph.num_nodes)} == expected
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("variant", list(RuntimeVariant))
+class TestAllVariants:
+    def test_every_runtime_variant_is_correct(self, algorithm, variant):
+        """All Section 6.4 runtime variants execute the same programs and
+        must produce identical results."""
+        graph = GRAPHS["powerlaw"]
+        pgraph = partition(graph, 3, "cvc")
+        cluster = Cluster(3, threads_per_host=4)
+        result = ALGORITHMS[algorithm](cluster, pgraph, variant=variant)
+        expected = expected_components(graph)
+        assert {n: result.values[n] for n in range(graph.num_nodes)} == expected
+
+
+class TestRoundStructure:
+    def test_sclp_beats_lp_in_rounds_on_high_diameter(self):
+        """The paper's Section 6.2 claim: pointer jumping skips multiple
+        edges per round, so SCLP needs far fewer rounds than LP on
+        high-diameter graphs."""
+        graph = generators.road_like(24, 4, seed=0)
+        lp_rounds = cc_lp(
+            Cluster(2, threads_per_host=4), partition(graph, 2, "oec")
+        ).rounds
+        sclp_rounds = cc_sclp(
+            Cluster(2, threads_per_host=4), partition(graph, 2, "oec")
+        ).rounds
+        assert sclp_rounds * 2 < lp_rounds
+
+    def test_lp_rounds_track_diameter(self):
+        short = cc_lp(Cluster(2), partition(generators.path(8), 2, "oec")).rounds
+        long = cc_lp(Cluster(2), partition(generators.path(32), 2, "oec")).rounds
+        assert long > short
+
+    def test_sv_hook_then_shortcut_converges_on_cycle(self):
+        graph = generators.cycle(17)
+        result = cc_sv(Cluster(2, threads_per_host=4), partition(graph, 2, "oec"))
+        assert all(value == 0 for value in result.values.values())
+
+    def test_single_node_graph(self):
+        from repro.graph import Graph
+
+        graph = Graph.from_edge_list(1, [])
+        for algorithm in ALGORITHMS.values():
+            result = algorithm(Cluster(1), partition(graph, 1, "oec"))
+            assert result.values == {0: 0}
+
+    def test_edgeless_graph(self):
+        from repro.graph import Graph
+
+        graph = Graph.from_edge_list(5, [])
+        for algorithm in ALGORITHMS.values():
+            result = algorithm(Cluster(2), partition(graph, 2, "oec"))
+            assert result.values == {n: n for n in range(5)}
+
+
+class TestMetrics:
+    def test_lp_elides_all_requests(self):
+        """CC-LP is adjacent-vertex: with pinned mirrors there must be no
+        request-sync traffic at all (the compiler elision the paper credits
+        for matching Gluon)."""
+        from repro.cluster.metrics import PhaseKind
+
+        graph = GRAPHS["powerlaw"]
+        cluster = Cluster(4, threads_per_host=4)
+        cc_lp(cluster, partition(graph, 4, "cvc"))
+        request_phases = [
+            p
+            for p in cluster.log.phases
+            if p.kind is PhaseKind.REQUEST_SYNC and sum(p.msgs_sent) > 0
+        ]
+        assert request_phases == []
+
+    def test_sv_uses_requests_for_shortcut(self):
+        from repro.cluster.metrics import PhaseKind
+
+        graph = GRAPHS["road"]
+        cluster = Cluster(4, threads_per_host=4)
+        cc_sv(cluster, partition(graph, 4, "cvc"))
+        kinds = {p.kind for p in cluster.log.phases}
+        assert PhaseKind.REQUEST_SYNC in kinds
+
+    def test_more_hosts_more_communication(self):
+        graph = GRAPHS["powerlaw"]
+        small = Cluster(2, threads_per_host=4)
+        cc_sv(small, partition(graph, 2, "cvc"))
+        large = Cluster(6, threads_per_host=4)
+        cc_sv(large, partition(graph, 6, "cvc"))
+        assert large.log.total_messages() > small.log.total_messages()

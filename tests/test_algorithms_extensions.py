@@ -1,0 +1,201 @@
+"""Tests for the extension applications (k-core, vertex cover) and verify module."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import verify
+from repro.algorithms import boruvka_msf, cc_sv, k_core, leiden, mis, vertex_cover
+from repro.algorithms.kcore import h_index
+from repro.cluster import Cluster
+from repro.core import RuntimeVariant
+from repro.graph import Graph, generators
+from repro.partition import partition
+
+
+def run(algorithm, graph, hosts=3, policy="oec", **kwargs):
+    return algorithm(
+        Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy), **kwargs
+    )
+
+
+class TestHIndex:
+    def test_basic(self):
+        assert h_index([3, 3, 3]) == 3
+        assert h_index([5, 1, 1]) == 1
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([2, 2, 2, 2]) == 2
+
+    @given(st.lists(st.integers(0, 20), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_definition(self, values):
+        h = h_index(values)
+        assert sum(1 for v in values if v >= h) >= h
+        assert sum(1 for v in values if v >= h + 1) < h + 1
+
+
+GRAPHS = {
+    "road": generators.road_like(8, 4, seed=1),
+    "powerlaw": generators.powerlaw_like(6, seed=3),
+    "cliques": generators.disjoint_union(
+        generators.complete(6), generators.path(5)
+    ),
+    "star": generators.star(10),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+class TestKCore:
+    def test_matches_networkx(self, graph_name):
+        graph = GRAPHS[graph_name]
+        result = run(k_core, graph)
+        verify.check_core_numbers(graph, result.values)
+
+    def test_single_host(self, graph_name):
+        graph = GRAPHS[graph_name]
+        result = run(k_core, graph, hosts=1)
+        verify.check_core_numbers(graph, result.values)
+
+
+class TestKCoreProperties:
+    def test_clique_core_is_size_minus_one(self):
+        result = run(k_core, generators.complete(7))
+        assert all(v == 6 for v in result.values.values())
+
+    def test_requires_edge_cut(self):
+        with pytest.raises(ValueError):
+            run(k_core, GRAPHS["road"], policy="cvc")
+
+    @pytest.mark.parametrize("variant", list(RuntimeVariant))
+    def test_all_variants_agree(self, variant):
+        graph = GRAPHS["powerlaw"]
+        baseline = run(k_core, graph).values
+        assert run(k_core, graph, variant=variant).values == baseline
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs(self, seed):
+        graph = generators.erdos_renyi(30, 4.0, seed=seed)
+        result = run(k_core, graph, hosts=2)
+        verify.check_core_numbers(graph, result.values)
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+class TestVertexCover:
+    def test_covers_every_edge(self, graph_name):
+        graph = GRAPHS[graph_name]
+        result = run(vertex_cover, graph)
+        verify.check_vertex_cover(graph, result.values)
+
+    def test_within_2x_of_optimal_bound(self, graph_name):
+        """A matching-based cover is at most 2x any cover, in particular
+        at most 2x the LP lower bound given by any maximal matching."""
+        graph = GRAPHS[graph_name]
+        result = run(vertex_cover, graph)
+        cover_size = sum(result.values.values())
+        nx_graph = graph.to_networkx().to_undirected()
+        matching = nx.maximal_matching(nx_graph)
+        # every cover >= |any matching|; ours == 2 x |our matching|
+        assert cover_size <= 2 * len(nx.max_weight_matching(nx_graph))
+        assert cover_size % 2 == 0  # endpoints of matched edges
+        del matching
+
+
+class TestVertexCoverProperties:
+    def test_star_cover_is_one_edge(self):
+        result = run(vertex_cover, generators.star(9))
+        assert result.stats["cover_size"] == 2  # hub + one leaf (one matched edge)
+
+    def test_edgeless_graph_empty_cover(self):
+        graph = Graph.from_edge_list(5, [])
+        result = run(vertex_cover, graph, hosts=2)
+        assert result.stats["cover_size"] == 0
+
+    def test_requires_edge_cut(self):
+        with pytest.raises(ValueError):
+            run(vertex_cover, GRAPHS["road"], policy="cvc")
+
+    def test_deterministic_across_hosts(self):
+        graph = GRAPHS["powerlaw"]
+        baseline = run(vertex_cover, graph, hosts=1).values
+        assert run(vertex_cover, graph, hosts=4).values == baseline
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs_covered(self, seed):
+        graph = generators.erdos_renyi(30, 3.0, seed=seed)
+        result = run(vertex_cover, graph, hosts=2)
+        verify.check_vertex_cover(graph, result.values)
+
+
+class TestVerifyModule:
+    """The validators must reject broken outputs, not just accept good ones."""
+
+    def test_components_rejects_wrong_label(self):
+        graph = generators.path(4)
+        good = verify.expected_components(graph)
+        bad = dict(good)
+        bad[3] = 99
+        with pytest.raises(verify.VerificationError):
+            verify.check_components(graph, bad)
+
+    def test_independent_set_rejects_adjacent_pair(self):
+        graph = generators.path(3)
+        with pytest.raises(verify.VerificationError):
+            verify.check_independent_set(graph, {0: 1, 1: 1, 2: 2})
+
+    def test_independent_set_rejects_non_maximal(self):
+        graph = generators.path(3)
+        with pytest.raises(verify.VerificationError):
+            verify.check_independent_set(graph, {0: 2, 1: 2, 2: 1})
+
+    def test_forest_rejects_cycle(self):
+        graph = generators.cycle(4, weighted=True)
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
+        with pytest.raises(verify.VerificationError):
+            verify.check_spanning_forest(graph, edges)
+
+    def test_forest_rejects_overweight(self):
+        graph = Graph.from_edge_list(
+            3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 9.0]
+        ).symmetrized()
+        with pytest.raises(verify.VerificationError):
+            verify.check_spanning_forest(graph, [(0, 2, 9.0), (0, 1, 1.0)])
+
+    def test_forest_rejects_phantom_edge(self):
+        graph = generators.path(4, weighted=True)
+        with pytest.raises(verify.VerificationError):
+            verify.check_spanning_forest(graph, [(0, 3, 0.5)])
+
+    def test_cover_rejects_uncovered_edge(self):
+        graph = generators.path(3)
+        with pytest.raises(verify.VerificationError):
+            verify.check_vertex_cover(graph, {0: True, 1: False, 2: False})
+
+    def test_partition_rejects_missing_node(self):
+        graph = generators.path(3)
+        with pytest.raises(verify.VerificationError):
+            verify.check_community_partition(graph, {0: 0, 1: 0})
+
+    def test_partition_rejects_disconnected_community(self):
+        graph = generators.path(4)
+        with pytest.raises(verify.VerificationError):
+            verify.check_community_partition(
+                graph, {0: 0, 1: 1, 2: 1, 3: 0}, require_connected=True
+            )
+
+    def test_accepts_real_outputs(self):
+        graph = generators.road_like(6, 4, seed=2, weighted=True)
+        verify.check_components(graph, run(cc_sv, graph, policy="cvc").values)
+        verify.check_independent_set(graph, run(mis, graph, policy="cvc").values)
+        verify.check_spanning_forest(
+            graph, run(boruvka_msf, graph, policy="cvc").extra["forest"]
+        )
+        verify.check_community_partition(
+            graph, run(leiden, graph, hosts=2).values, require_connected=True
+        )
+        assert verify.partition_modularity(graph, run(leiden, graph, hosts=2).values) > 0

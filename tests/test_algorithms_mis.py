@@ -1,0 +1,97 @@
+"""MIS tests: independence, maximality, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import mis
+from repro.algorithms.mis import IN_SET, OUT, UNDECIDED
+from repro.cluster import Cluster
+from repro.core import RuntimeVariant
+from repro.graph import generators
+from repro.partition import partition
+
+
+def run_mis(graph, hosts=3, policy="cvc", variant=RuntimeVariant.KIMBAP):
+    return mis(Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy), variant=variant)
+
+
+def check_valid(graph, values):
+    nx_graph = graph.to_networkx().to_undirected()
+    for node, state in values.items():
+        assert state in (IN_SET, OUT), f"node {node} undecided"
+    for u, v in nx_graph.edges():
+        assert not (values[u] == IN_SET and values[v] == IN_SET), "not independent"
+    for node in nx_graph.nodes():
+        if values[node] != IN_SET:
+            assert any(
+                values[m] == IN_SET for m in nx_graph.neighbors(node)
+            ), "not maximal"
+
+
+GRAPHS = {
+    "road": generators.road_like(8, 4, seed=1),
+    "powerlaw": generators.powerlaw_like(6, seed=3),
+    "star": generators.star(12),
+    "complete": generators.complete(6),
+    "cycle": generators.cycle(9),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+class TestValidity:
+    def test_independent_and_maximal(self, graph_name):
+        graph = GRAPHS[graph_name]
+        result = run_mis(graph)
+        check_valid(graph, result.values)
+
+    def test_single_host(self, graph_name):
+        graph = GRAPHS[graph_name]
+        result = run_mis(graph, hosts=1, policy="oec")
+        check_valid(graph, result.values)
+
+
+class TestSpecifics:
+    def test_star_picks_leaves(self):
+        """The hub has the highest degree/priority, so it joins the set and
+        excludes everything - wait, no: the hub has the *highest* priority,
+        so it wins and the leaves go OUT. Set size is exactly 1."""
+        result = run_mis(generators.star(12))
+        assert result.values[0] == IN_SET
+        assert result.stats["set_size"] == 1
+
+    def test_complete_graph_picks_one(self):
+        result = run_mis(generators.complete(6))
+        assert result.stats["set_size"] == 1
+
+    def test_edgeless_graph_all_in(self):
+        from repro.graph import Graph
+
+        graph = Graph.from_edge_list(5, [])
+        result = run_mis(graph, hosts=2, policy="oec")
+        assert result.stats["set_size"] == 5
+
+    def test_deterministic_across_host_counts(self):
+        """The priority total order makes the chosen set independent of the
+        partitioning - a strong distributed-correctness check."""
+        graph = GRAPHS["powerlaw"]
+        baseline = run_mis(graph, hosts=1, policy="oec").values
+        for hosts, policy in [(2, "oec"), (4, "cvc"), (3, "iec")]:
+            assert run_mis(graph, hosts=hosts, policy=policy).values == baseline
+
+    @pytest.mark.parametrize("variant", list(RuntimeVariant))
+    def test_all_variants_agree(self, variant):
+        graph = GRAPHS["cycle"]
+        baseline = run_mis(graph).values
+        assert run_mis(graph, variant=variant).values == baseline
+
+
+class TestProperty:
+    @given(st.integers(0, 10000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_powerlaw_always_valid(self, seed):
+        graph = generators.erdos_renyi(40, 4.0, seed=seed)
+        result = run_mis(graph, hosts=2)
+        check_valid(graph, result.values)

@@ -1,0 +1,101 @@
+"""Deeper unit tests of baseline internals (Vite rounds, Galois slots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.galois import _AtomicSlots, galois_cc_lp, galois_mis
+from repro.baselines.vite import _vite_level, vite_louvain
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.graph import generators
+from repro.partition import partition
+
+
+class TestAtomicSlots:
+    def test_light_regime_only_changing_cross_thread(self):
+        cluster = Cluster(1, threads_per_host=4)
+        slots = _AtomicSlots(cluster)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            slots.update(0, 5, changed=True)
+            slots.update(1, 5, changed=False)  # benign: no conflict
+            slots.update(1, 5, changed=True)  # cross-thread change: conflict
+            slots.update(1, 5, changed=True)  # same thread again: none
+        assert cluster.log.total_counters().cas_conflicts == 1
+
+    def test_heavy_regime_charges_per_competitor(self):
+        cluster = Cluster(1, threads_per_host=4)
+        slots = _AtomicSlots(cluster, heavy=True)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(4):
+                slots.update(thread, 9, changed=True)
+        # competitors: 0 + 1 + 2 + 3
+        assert cluster.log.total_counters().cas_conflicts == 6
+
+    def test_new_sweep_resets(self):
+        cluster = Cluster(1, threads_per_host=4)
+        slots = _AtomicSlots(cluster)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            slots.update(0, 1, changed=True)
+            slots.new_sweep()
+            slots.update(1, 1, changed=True)  # first writer of the new sweep
+        assert cluster.log.total_counters().cas_conflicts == 0
+
+
+class TestViteLevel:
+    def test_level_converges_and_labels_valid(self):
+        graph = generators.powerlaw_like(6, seed=1, weighted=True)
+        pgraph = partition(graph, 2, "oec")
+        cluster = Cluster(2, threads_per_host=4)
+        rng = np.random.default_rng(0)
+        labels, rounds = _vite_level(
+            cluster, pgraph, gamma=1.0, max_rounds=40,
+            early_termination=False, rng=rng,
+        )
+        assert labels.shape == (graph.num_nodes,)
+        assert rounds >= 1
+        assert labels.min() >= 0
+        assert labels.max() < graph.num_nodes
+
+    def test_zero_weight_graph_short_circuits(self):
+        from repro.graph import Graph
+
+        graph = Graph.from_edge_list(4, [])
+        pgraph = partition(graph, 2, "oec")
+        cluster = Cluster(2, threads_per_host=4)
+        labels, rounds = _vite_level(
+            cluster, pgraph, gamma=1.0, max_rounds=40,
+            early_termination=False, rng=np.random.default_rng(0),
+        )
+        assert rounds == 0
+        assert list(labels) == [0, 1, 2, 3]
+
+    def test_sgr_phase_exists_each_round(self):
+        graph = generators.road_like(6, 4, seed=0, weighted=True)
+        cluster = Cluster(2, threads_per_host=4)
+        vite_louvain(cluster, partition(graph, 2, "oec"))
+        sgr_phases = [p for p in cluster.log.phases if p.label == "vite:sgr"]
+        serial_phases = [p for p in cluster.log.phases if p.label == "vite:inspect"]
+        assert len(sgr_phases) == len(serial_phases) > 0
+
+
+class TestGaloisDeterminism:
+    def test_cc_lp_deterministic(self):
+        graph = generators.powerlaw_like(6, seed=4)
+        first = galois_cc_lp(Cluster(1, threads_per_host=8), graph)
+        second = galois_cc_lp(Cluster(1, threads_per_host=8), graph)
+        assert first.values == second.values
+        assert first.rounds == second.rounds
+
+    def test_mis_matches_distributed_priority_order(self):
+        """Galois MIS and Kimbap MIS share the priority order, so the
+        selected sets coincide."""
+        from repro.algorithms import mis
+
+        graph = generators.road_like(6, 4, seed=2)
+        galois = galois_mis(Cluster(1, threads_per_host=8), graph)
+        kimbap = mis(Cluster(2, threads_per_host=4), partition(graph, 2, "cvc"))
+        galois_set = {n for n, v in galois.values.items() if v == 1}
+        kimbap_set = {n for n, v in kimbap.values.items() if v == 1}
+        assert galois_set == kimbap_set

@@ -1,0 +1,78 @@
+"""Tests for the rejected-asynchronous-execution baseline (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import cc_lp
+from repro.baselines import async_cc_lp
+from repro.cluster import Cluster
+from repro.graph import generators
+from repro.partition import partition
+from repro import verify
+
+GRAPHS = {
+    "road": generators.road_like(8, 4, seed=1),
+    "powerlaw": generators.powerlaw_like(6, seed=3),
+    "two_components": generators.disjoint_union(
+        generators.path(6), generators.cycle(5)
+    ),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("policy,hosts", [("cvc", 4), ("oec", 2), ("oec", 1)])
+class TestAsyncCorrectness:
+    def test_components_correct(self, graph_name, policy, hosts):
+        graph = GRAPHS[graph_name]
+        result = async_cc_lp(
+            Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy)
+        )
+        verify.check_components(graph, result.values)
+
+
+class TestSection41Tradeoff:
+    """The design-choice claims the module exists to demonstrate."""
+
+    def run_pair(self, graph, hosts=4):
+        # 48 threads per host, as on the paper's machines: asynchrony's
+        # per-update messages don't parallelize, BSP's compute does
+        bsp_cluster = Cluster(hosts, threads_per_host=48)
+        bsp = cc_lp(bsp_cluster, partition(graph, hosts, "cvc"))
+        async_cluster = Cluster(hosts, threads_per_host=48)
+        asynchronous = async_cc_lp(async_cluster, partition(graph, hosts, "cvc"))
+        return (bsp, bsp_cluster), (asynchronous, async_cluster)
+
+    def test_async_converges_in_fewer_or_equal_rounds(self):
+        (bsp, _), (asynchronous, _) = self.run_pair(GRAPHS["road"])
+        assert asynchronous.rounds <= bsp.rounds
+
+    def test_async_sends_many_more_messages(self):
+        """"may generate a large number of messages ... duplicate
+        messages" - per-update eager messaging vs one message per host
+        pair per round."""
+        (_, bsp_cluster), (_, async_cluster) = self.run_pair(GRAPHS["powerlaw"])
+        assert (
+            async_cluster.log.total_messages()
+            > 3 * bsp_cluster.log.total_messages()
+        )
+
+    def test_async_pays_more_materialization(self):
+        """"high materialization overheads" - every received update
+        materializes individually."""
+        (_, bsp_cluster), (_, async_cluster) = self.run_pair(GRAPHS["powerlaw"])
+        assert (
+            async_cluster.log.total_counters().materialize_ops
+            > bsp_cluster.log.total_counters().materialize_ops
+        )
+
+    def test_bsp_wins_overall_at_scale(self):
+        # the message-volume penalty needs a non-toy graph to dominate the
+        # per-round barrier costs it saves
+        graph = generators.powerlaw_like(9, seed=5)
+        (_, bsp_cluster), (_, async_cluster) = self.run_pair(graph, hosts=8)
+        assert bsp_cluster.elapsed().total < async_cluster.elapsed().total
+
+    def test_same_answers(self):
+        (bsp, _), (asynchronous, _) = self.run_pair(GRAPHS["two_components"])
+        assert bsp.values == asynchronous.values

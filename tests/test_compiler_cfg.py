@@ -1,0 +1,213 @@
+"""CFG and dominator tests, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.compiler.cfg import ENTRY, EXIT, build_cfg
+from repro.compiler.dominators import (
+    dominates,
+    dominators_of,
+    immediate_dominators,
+    immediate_post_dominators,
+)
+from repro.compiler.ir import (
+    ActiveNode,
+    Assign,
+    BinOp,
+    Const,
+    EdgeDst,
+    ForEdges,
+    If,
+    MapRead,
+    MapReduce,
+    Var,
+    stmts,
+)
+from repro.compiler.programs import cc_sv_hook, cc_sv_shortcut
+from repro.core.reducers import MIN
+
+
+def straight_line():
+    return stmts(
+        Assign("a", Const(1)),
+        Assign("b", Var("a")),
+        Assign("c", Var("b")),
+    )
+
+
+def branchy():
+    return stmts(
+        Assign("a", Const(1)),
+        If(
+            BinOp(">", Var("a"), Const(0)),
+            stmts(Assign("b", Const(2))),
+            stmts(Assign("b", Const(3))),
+        ),
+        Assign("c", Var("b")),
+    )
+
+
+def loopy():
+    return stmts(
+        MapRead("p", "m", ActiveNode()),
+        ForEdges("e", stmts(MapRead("q", "m", EdgeDst("e")))),
+        Assign("done", Const(True)),
+    )
+
+
+class TestCfgShape:
+    def test_straight_line_is_a_chain(self):
+        cfg = build_cfg(straight_line())
+        assert cfg.num_nodes == 5  # entry, exit, 3 statements
+        assert cfg.succ[ENTRY] == [2]
+        assert cfg.succ[2] == [3]
+        assert cfg.succ[4] == [EXIT]
+
+    def test_if_branches_and_joins(self):
+        cfg = build_cfg(branchy())
+        if_node = next(
+            n for n, s in enumerate(cfg.stmt_of) if isinstance(s, If)
+        )
+        assert len(cfg.succ[if_node]) == 2
+        join = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, Assign) and s.var == "c"
+        )
+        preds = cfg.predecessors()[join]
+        assert len(preds) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = build_cfg(
+            stmts(
+                If(Const(True), stmts(Assign("x", Const(1)))),
+                Assign("y", Const(2)),
+            )
+        )
+        if_node = 2
+        tail = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, Assign) and s.var == "y"
+        )
+        assert tail in cfg.succ[if_node] or any(
+            tail in cfg.succ[m] for m in cfg.succ[if_node]
+        )
+
+    def test_for_edges_has_back_edge_and_exit(self):
+        cfg = build_cfg(loopy())
+        header = next(
+            n for n, s in enumerate(cfg.stmt_of) if isinstance(s, ForEdges)
+        )
+        body = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, MapRead) and s.var == "q"
+        )
+        assert body in cfg.succ[header]
+        assert header in cfg.succ[body]  # back edge
+        after = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, Assign) and s.var == "done"
+        )
+        assert after in cfg.succ[header]
+
+    def test_empty_body(self):
+        cfg = build_cfg(stmts())
+        assert cfg.succ[ENTRY] == [EXIT]
+
+
+def to_networkx(cfg):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(cfg.num_nodes))
+    for src, dsts in enumerate(cfg.succ):
+        for dst in dsts:
+            graph.add_edge(src, dst)
+    return graph
+
+
+BODIES = {
+    "straight": straight_line(),
+    "branchy": branchy(),
+    "loopy": loopy(),
+    "hook": cc_sv_hook().par_for.body,
+    "shortcut": cc_sv_shortcut().par_for.body,
+}
+
+
+@pytest.mark.parametrize("body_name", sorted(BODIES))
+class TestDominatorsAgainstNetworkx:
+    def test_idom_matches_networkx(self, body_name):
+        cfg = build_cfg(BODIES[body_name])
+        ours = immediate_dominators(cfg)
+        theirs = dict(nx.immediate_dominators(to_networkx(cfg), ENTRY))
+        # normalize: both conventions include/exclude the root self-entry
+        ours.pop(ENTRY, None)
+        theirs.pop(ENTRY, None)
+        assert ours == theirs
+
+    def test_ipdom_matches_networkx_on_reverse(self, body_name):
+        cfg = build_cfg(BODIES[body_name])
+        ours = immediate_post_dominators(cfg)
+        theirs = dict(nx.immediate_dominators(to_networkx(cfg).reverse(), EXIT))
+        ours.pop(EXIT, None)
+        theirs.pop(EXIT, None)
+        assert ours == theirs
+
+
+class TestDominanceQueries:
+    def test_entry_dominates_everything(self):
+        cfg = build_cfg(branchy())
+        idom = immediate_dominators(cfg)
+        for node in range(cfg.num_nodes):
+            assert dominates(idom, ENTRY, node)
+
+    def test_branch_does_not_dominate_join(self):
+        cfg = build_cfg(branchy())
+        idom = immediate_dominators(cfg)
+        then_node = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, Assign) and s.var == "b"
+        )
+        join = next(
+            n
+            for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, Assign) and s.var == "c"
+        )
+        assert not dominates(idom, then_node, join)
+
+    def test_loop_header_dominates_body(self):
+        cfg = build_cfg(loopy())
+        idom = immediate_dominators(cfg)
+        header = next(n for n, s in enumerate(cfg.stmt_of) if isinstance(s, ForEdges))
+        body = next(
+            n for n, s in enumerate(cfg.stmt_of)
+            if isinstance(s, MapRead) and s.var == "q"
+        )
+        assert dominates(idom, header, body)
+
+    def test_dominators_of_chain(self):
+        cfg = build_cfg(straight_line())
+        idom = immediate_dominators(cfg)
+        last = 4
+        chain = dominators_of(idom, last)
+        assert chain == [3, 2, ENTRY]
+
+    def test_hook_reads_ordered_by_dominance(self):
+        """R1 (active read) dominates R2 (neighbor read) in hook - the
+        ordering Section 5.1's transform relies on."""
+        from repro.compiler.analysis import reads_in_dominance_order
+
+        program = cc_sv_hook()
+        reads = reads_in_dominance_order(program.par_for)
+        assert [r.var for r in reads] == ["src_parent", "dst_parent"]
+
+        cfg = build_cfg(program.par_for.body)
+        idom = immediate_dominators(cfg)
+        first = cfg.nodes_of(reads[0])[0]
+        second = cfg.nodes_of(reads[1])[0]
+        assert dominates(idom, first, second)

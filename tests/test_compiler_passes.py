@@ -1,0 +1,226 @@
+"""Compiler pass tests: analysis, split transform, elisions, Figure 8 parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.analysis import (
+    ACTIVE,
+    ADJACENT,
+    DYNAMIC,
+    NotCautiousError,
+    analyze_operator,
+)
+from repro.compiler.compile import compile_program
+from repro.compiler.ir import (
+    ActiveNode,
+    Assign,
+    BinOp,
+    Const,
+    EdgeDst,
+    ForEdges,
+    If,
+    KimbapWhile,
+    MapRead,
+    MapReduce,
+    MapRequest,
+    MapSet,
+    ParFor,
+    Var,
+    stmts,
+    walk,
+)
+from repro.compiler.programs import (
+    cc_lp_program,
+    cc_sv_hook,
+    cc_sv_shortcut,
+    mis_blocked,
+    mis_exclude,
+    mis_select,
+)
+from repro.compiler.transforms import request_slice
+from repro.core.reducers import MIN
+
+
+class TestAnalysis:
+    def test_hook_key_kinds(self):
+        analysis = analyze_operator(cc_sv_hook().par_for)
+        kinds = {(a.stmt.var, a.kind) for a in analysis.reads}
+        assert kinds == {("src_parent", ACTIVE), ("dst_parent", ADJACENT)}
+        # the reduce target parent(src_parent) is a dynamically computed node
+        assert analysis.reduces[0].kind == DYNAMIC
+
+    def test_hook_is_trans_vertex_but_reads_adjacent(self):
+        analysis = analyze_operator(cc_sv_hook().par_for)
+        assert analysis.is_trans_vertex
+        assert analysis.reads_are_adjacent
+        assert analysis.accesses_edges
+
+    def test_shortcut_is_trans_vertex_no_edges(self):
+        analysis = analyze_operator(cc_sv_shortcut().par_for)
+        assert analysis.is_trans_vertex
+        assert analysis.masters_only_eligible
+        assert not analysis.accesses_edges
+
+    def test_cc_lp_is_adjacent_vertex(self):
+        analysis = analyze_operator(cc_lp_program().par_for)
+        assert analysis.is_adjacent_vertex
+        assert not analysis.is_trans_vertex
+
+    def test_mis_operators_all_adjacent(self):
+        for program in (mis_blocked(), mis_select(), mis_exclude()):
+            assert analyze_operator(program.par_for).is_adjacent_vertex
+
+    def test_copy_propagation_of_edge_dst(self):
+        body = stmts(
+            Assign("dst", EdgeDst("e")),
+            ForEdges("e", stmts(MapRead("x", "m", Var("dst")))),
+        )
+        # assignment outside the loop referencing its edge var is nonsense,
+        # but classification must still flow through the Assign
+        analysis = analyze_operator(ParFor(stmts(
+            ForEdges("e", stmts(
+                Assign("dst", EdgeDst("e")),
+                MapRead("x", "m", Var("dst")),
+            )),
+        )))
+        assert analysis.reads[0].kind == ADJACENT
+
+    def test_value_from_read_is_dynamic(self):
+        body = stmts(
+            MapRead("p", "m", ActiveNode()),
+            MapRead("q", "m", Var("p")),
+        )
+        analysis = analyze_operator(ParFor(body))
+        assert analysis.reads[1].kind == DYNAMIC
+
+    def test_read_after_set_rejected(self):
+        body = stmts(
+            MapSet("m", ActiveNode(), Const(0)),
+            MapRead("x", "m", ActiveNode()),
+        )
+        with pytest.raises(NotCautiousError):
+            analyze_operator(ParFor(body))
+
+    def test_request_in_input_rejected(self):
+        body = stmts(MapRequest("m", ActiveNode()))
+        with pytest.raises(ValueError):
+            analyze_operator(ParFor(body))
+
+    def test_reducers_collected(self):
+        analysis = analyze_operator(cc_sv_hook().par_for)
+        assert analysis.reducers_used == ["work_done"]
+
+
+class TestRequestSlice:
+    def test_shortcut_slice_matches_figure8(self):
+        """The request ParFor for the grandparent read must be exactly
+        Figure 8 lines 27-30: read own parent, request it."""
+        body = cc_sv_shortcut().par_for.body
+        target = next(
+            s for s in walk(body) if isinstance(s, MapRead) and s.var == "grand_parent"
+        )
+        sliced, found = request_slice(body, target)
+        assert found
+        assert len(sliced) == 2
+        assert isinstance(sliced[0], MapRead) and sliced[0].var == "parent_value"
+        assert isinstance(sliced[1], MapRequest)
+        assert sliced[1].key == Var("parent_value")
+
+    def test_slice_drops_side_effects(self):
+        body = stmts(
+            MapRead("a", "m", ActiveNode()),
+            MapReduce("other", ActiveNode(), Const(1), MIN),
+            MapRead("b", "m", Var("a")),
+        )
+        sliced, found = request_slice(body, body[2])
+        assert found
+        assert not any(isinstance(s, MapReduce) for s in sliced)
+
+    def test_slice_through_if_keeps_condition(self):
+        inner = MapRead("b", "m", Var("a"))
+        body = stmts(
+            MapRead("a", "m", ActiveNode()),
+            If(BinOp(">", Var("a"), Const(0)), stmts(inner)),
+        )
+        sliced, found = request_slice(body, inner)
+        assert found
+        assert isinstance(sliced[1], If)
+        assert isinstance(sliced[1].then[0], MapRequest)
+
+    def test_slice_drops_non_ancestor_branches(self):
+        """An If that does not contain the target does not dominate what
+        follows it, so it is dropped from the copy."""
+        target = MapRead("b", "m", Var("a"))
+        body = stmts(
+            MapRead("a", "m", ActiveNode()),
+            If(Const(True), stmts(Assign("x", Const(1)))),
+            target,
+        )
+        sliced, found = request_slice(body, target)
+        assert found
+        assert not any(isinstance(s, If) for s in sliced)
+
+    def test_slice_inside_for_edges(self):
+        body = cc_sv_hook().par_for.body
+        target = next(
+            s for s in walk(body) if isinstance(s, MapRead) and s.var == "dst_parent"
+        )
+        sliced, found = request_slice(body, target)
+        assert found
+        loop = next(s for s in sliced if isinstance(s, ForEdges))
+        assert any(isinstance(s, MapRequest) for s in walk(loop.body))
+
+    def test_missing_target(self):
+        body = stmts(Assign("a", Const(1)))
+        _, found = request_slice(body, MapRead("x", "m", ActiveNode()))
+        assert not found
+
+
+class TestCompile:
+    def test_hook_compiles_to_pinned_no_requests(self):
+        loop = compile_program(cc_sv_hook())
+        assert loop.pinned == {"parent": "none"}
+        assert loop.request_phases == []
+        assert loop.iterator == "nodes"
+        assert loop.reduce_maps == ("parent",)
+        assert loop.broadcast_maps == ("parent",)
+
+    def test_shortcut_compiles_to_masters_one_request(self):
+        loop = compile_program(cc_sv_shortcut())
+        assert loop.pinned == {}
+        assert loop.iterator == "masters"
+        assert len(loop.request_phases) == 1
+        assert loop.request_phases[0].map == "parent"
+        assert loop.broadcast_maps == ()
+
+    def test_cc_lp_compiles_like_gluon(self):
+        loop = compile_program(cc_lp_program())
+        assert loop.request_phases == []
+        assert loop.pinned == {"label": "none"}
+
+    def test_select_gets_master_elision(self):
+        loop = compile_program(mis_select())
+        assert loop.iterator == "masters"
+        assert loop.request_phases == []
+
+    def test_no_opt_requests_every_read(self):
+        loop = compile_program(cc_sv_hook(), optimize=False)
+        assert loop.pinned == {}
+        assert len(loop.request_phases) == 2  # active read + neighbor read
+        assert loop.iterator == "nodes"
+
+    def test_no_opt_shortcut_keeps_both_requests(self):
+        loop = compile_program(cc_sv_shortcut(), optimize=False)
+        assert len(loop.request_phases) == 2
+        assert loop.iterator == "nodes"
+
+    def test_describe_mentions_phases(self):
+        text = compile_program(cc_sv_shortcut()).describe()
+        assert "RequestSync" in text
+        assert "ReduceSync" in text
+        assert "masters" in text
+
+    def test_bad_iterator_rejected(self):
+        with pytest.raises(ValueError):
+            ParFor(stmts(), iterator="everything")

@@ -1,0 +1,181 @@
+"""Direct unit tests for the per-host storage backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.backends import GarHostStore, HashHostStore
+from repro.core.reducers import MIN, SUM
+from repro.graph import generators
+from repro.partition import partition
+
+
+@pytest.fixture
+def setup():
+    graph = generators.road_like(6, 4, seed=0)
+    pgraph = partition(graph, 3, "oec")
+    cluster = Cluster(3, threads_per_host=4)
+    return graph, pgraph, cluster
+
+
+class TestGarHostStore:
+    def test_master_translation_is_contiguous(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 1)
+        masters = pgraph.parts[1].masters_global
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for offset, key in enumerate(masters.tolist()):
+                assert store.master_local(key) == offset
+            assert store.master_local(int(pgraph.parts[0].masters_global[0])) is None
+        # contiguity path charges no hash probes
+        assert cluster.log.total_counters().hash_probes == 0
+
+    def test_write_then_serve(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        key = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.INIT):
+            store.write_master(key, 42)
+            assert store.serve_master(key) == 42
+
+    def test_write_foreign_master_rejected(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        foreign = int(pgraph.parts[1].masters_global[0])
+        with cluster.phase(PhaseKind.INIT):
+            with pytest.raises(KeyError):
+                store.write_master(foreign, 1)
+
+    def test_apply_master_reports_change(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        key = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.INIT):
+            store.write_master(key, 10)
+            assert store.apply_master(key, 5, MIN) is True
+            assert store.apply_master(key, 7, MIN) is False
+            assert store.serve_master(key) == 5
+
+    def test_apply_to_unset_master_takes_value(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        key = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.INIT):
+            assert store.apply_master(key, 3, SUM) is True
+            assert store.serve_master(key) == 3
+
+    def test_remote_merge_keeps_both_batches(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        keys = [int(k) for k in pgraph.parts[1].masters_global[:3]]
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            store.materialize_remote(np.array(keys[:2][::-1]), ["b", "a"])
+            store.materialize_remote(np.array([keys[2]]), ["c"])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert store.read(keys[0]) == "a"
+            assert store.read(keys[1]) == "b"
+            assert store.read(keys[2]) == "c"
+        assert store.remote_cache_size == 3
+
+    def test_remote_merge_newer_value_wins(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        key = int(pgraph.parts[1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            store.materialize_remote(np.array([key]), ["old"])
+            store.materialize_remote(np.array([key]), ["new"])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert store.read(key) == "new"
+
+    def test_mirror_write_requires_mirror(self, setup):
+        _, pgraph, cluster = setup
+        store = GarHostStore(cluster, pgraph, 0)
+        master = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.BROADCAST_SYNC):
+            with pytest.raises(KeyError):
+                store.write_mirror(master, 1)
+
+    def test_unpin_invalidates_mirrors_only(self, setup):
+        _, pgraph, cluster = setup
+        part = next(p for p in pgraph.parts if p.num_mirrors)
+        store = GarHostStore(cluster, pgraph, part.host_id)
+        master = int(part.masters_global[0])
+        mirror = int(part.mirrors_global[0])
+        with cluster.phase(PhaseKind.INIT):
+            store.write_master(master, 1)
+            store.pin()
+            store.write_mirror(mirror, 2)
+            store.unpin()
+            assert store.serve_master(master) == 1
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            with pytest.raises(KeyError):
+                store.read(mirror)
+
+    def test_can_read_covers_all_sources(self, setup):
+        _, pgraph, cluster = setup
+        part = next(p for p in pgraph.parts if p.num_mirrors)
+        store = GarHostStore(cluster, pgraph, part.host_id)
+        master = int(part.masters_global[0])
+        mirror = int(part.mirrors_global[0])
+        # a node with no proxy at all on this host
+        foreign = next(
+            node
+            for node in range(pgraph.num_nodes)
+            if node not in part.global_to_local
+        )
+        with cluster.phase(PhaseKind.INIT):
+            store.write_master(master, 1)
+        assert store.can_read(master)
+        assert not store.can_read(mirror)
+        with cluster.phase(PhaseKind.INIT):
+            store.pin()
+            store.write_mirror(mirror, 2)
+        assert store.can_read(mirror)
+        assert not store.can_read(foreign)
+
+
+class TestHashHostStore:
+    def test_modulo_ownership(self, setup):
+        _, pgraph, cluster = setup
+        store = HashHostStore(cluster, pgraph, 1, 3)
+        assert store.hash_owner(4) == 1
+        assert store.hash_owner(5) == 2
+
+    def test_owned_write_and_read(self, setup):
+        _, pgraph, cluster = setup
+        store = HashHostStore(cluster, pgraph, 1, 3)
+        with cluster.phase(PhaseKind.INIT):
+            store.write_master(4, "x")
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert store.read(4) == "x"
+
+    def test_unfetched_read_raises(self, setup):
+        _, pgraph, cluster = setup
+        store = HashHostStore(cluster, pgraph, 1, 3)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            with pytest.raises(KeyError):
+                store.read(0)
+
+    def test_always_fetch_grows_when_pinned(self, setup):
+        _, pgraph, cluster = setup
+        part = next(p for p in pgraph.parts if p.num_mirrors)
+        store = HashHostStore(cluster, pgraph, part.host_id, 3)
+        base = set(store.always_fetch_keys())
+        store.pin()
+        pinned = set(store.always_fetch_keys())
+        assert base == {int(g) for g in part.masters_global}
+        assert pinned - base == {int(g) for g in part.mirrors_global}
+        store.unpin()
+        assert set(store.always_fetch_keys()) == base
+
+    def test_cache_cleared_on_drop(self, setup):
+        _, pgraph, cluster = setup
+        store = HashHostStore(cluster, pgraph, 1, 3)
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            store.materialize_remote(np.array([7]), ["v"])
+        assert store.remote_cache_size == 1
+        store.drop_remote()
+        assert store.remote_cache_size == 0

@@ -1,0 +1,60 @@
+"""Tests for the request-deduplication bitset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConcurrentBitset
+
+
+class TestBitset:
+    def test_set_reports_newness(self):
+        bits = ConcurrentBitset(8)
+        assert bits.set(3)
+        assert not bits.set(3)
+
+    def test_len_counts_distinct(self):
+        bits = ConcurrentBitset(8)
+        for index in (1, 1, 2, 7, 2):
+            bits.set(index)
+        assert len(bits) == 3
+
+    def test_nonzero_sorted(self):
+        bits = ConcurrentBitset(10)
+        for index in (9, 0, 4):
+            bits.set(index)
+        assert bits.nonzero().tolist() == [0, 4, 9]
+
+    def test_clear(self):
+        bits = ConcurrentBitset(4)
+        bits.set(2)
+        bits.clear()
+        assert len(bits) == 0
+        assert not bits.test(2)
+
+    def test_out_of_range(self):
+        bits = ConcurrentBitset(4)
+        with pytest.raises(IndexError):
+            bits.set(4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentBitset(-1)
+
+    def test_zero_size_allowed(self):
+        assert len(ConcurrentBitset(0)) == 0
+
+    @given(st.lists(st.integers(0, 63), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_set_semantics(self, indices):
+        """The bitset must behave exactly like a set: this is what makes
+        request deduplication correct."""
+        bits = ConcurrentBitset(64)
+        reference = set()
+        for index in indices:
+            assert bits.set(index) == (index not in reference)
+            reference.add(index)
+        assert bits.nonzero().tolist() == sorted(reference)
+        assert len(bits) == len(reference)

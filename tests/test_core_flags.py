@@ -1,0 +1,167 @@
+"""Tests for the ablation flags and activity tracking on the property map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core import MIN, NodePropMap
+from repro.graph import generators
+from repro.partition import partition
+
+
+def setting(hosts=3, **map_kwargs):
+    graph = generators.road_like(6, 4, seed=0)
+    pgraph = partition(graph, hosts, "oec")
+    cluster = Cluster(hosts, threads_per_host=4)
+    prop = NodePropMap(cluster, pgraph, "p", **map_kwargs)
+    prop.set_initial(lambda node: node)
+    return graph, pgraph, cluster, prop
+
+
+class TestRemoteLayout:
+    def test_hash_layout_reads_correctly(self):
+        _, pgraph, cluster, prop = setting(remote_layout="hash")
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(0, remote) == remote
+
+    def test_hash_layout_charges_probes_not_binsearch(self):
+        _, pgraph, cluster, prop = setting(remote_layout="hash")
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        cluster.reset()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.read(0, remote)
+        counters = cluster.log.total_counters()
+        assert counters.hash_probes >= 1
+        assert counters.binsearch_steps == 0
+
+    def test_hash_layout_dropped_after_reduce_sync(self):
+        _, pgraph, cluster, prop = setting(remote_layout="hash")
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        prop.reduce_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            with pytest.raises(KeyError):
+                prop.read(0, remote)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            setting(remote_layout="btree")
+
+
+class TestSerialCombine:
+    def test_serial_combine_charges_more(self):
+        def combine_cost(serial):
+            _, _, cluster, prop = setting(serial_combine=serial)
+            with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+                for thread in range(4):
+                    prop.reduce(0, thread, 5, thread, MIN)
+            prop.reduce_sync()
+            return cluster.log.total_counters().combine_ops
+
+        assert combine_cost(True) == 4 * combine_cost(False)
+
+    def test_serial_combine_same_values(self):
+        _, _, cluster, prop = setting(serial_combine=True)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(4):
+                prop.reduce(0, thread, 5, -thread, MIN)
+        prop.reduce_sync()
+        assert prop.snapshot()[5] == -3
+
+
+class TestRequestDedup:
+    def test_dedup_off_keeps_duplicates(self):
+        _, pgraph, cluster, prop = setting(request_dedup=False)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            for _ in range(5):
+                prop.request(0, remote)
+        prop.request_sync()
+        dedup_setting = setting(request_dedup=True)
+        _, pgraph2, cluster2, prop2 = dedup_setting
+        with cluster2.phase(PhaseKind.REQUEST_COMPUTE):
+            for _ in range(5):
+                prop2.request(0, remote)
+        prop2.request_sync()
+        assert cluster.log.total_bytes() > cluster2.log.total_bytes()
+
+    def test_dedup_off_still_reads_correctly(self):
+        _, pgraph, cluster, prop = setting(request_dedup=False)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+            prop.request(0, remote)
+        prop.request_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(0, remote) == remote
+
+
+class TestActivityTracking:
+    def test_everything_active_initially(self):
+        _, pgraph, cluster, prop = setting()
+        prop.reset_updated()
+        for host in range(cluster.num_hosts):
+            for node in pgraph.parts[host].local_to_global.tolist():
+                assert prop.is_active(host, int(node))
+
+    def test_only_changed_keys_active_after_round(self):
+        _, pgraph, cluster, prop = setting()
+        prop.reset_updated()
+        target = int(pgraph.parts[0].masters_global[0])
+        untouched = int(pgraph.parts[0].masters_global[1])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, target, -1, MIN)
+        prop.reduce_sync()
+        prop.reset_updated()
+        assert prop.is_active(0, target)
+        assert not prop.is_active(0, untouched)
+
+    def test_no_change_means_inactive(self):
+        _, pgraph, cluster, prop = setting()
+        prop.reset_updated()
+        target = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, target, 10_000, MIN)  # loses to current value
+        prop.reduce_sync()
+        prop.reset_updated()
+        assert not prop.is_active(0, target)
+
+    def test_mirror_becomes_active_via_broadcast(self):
+        graph = generators.powerlaw_like(6, seed=2)
+        pgraph = partition(graph, 4, "cvc")
+        cluster = Cluster(4, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "p")
+        prop.set_initial(lambda node: node)
+        prop.pin_mirrors(invariant="none")
+        owner, mirror_host, node = None, None, None
+        for candidate, pairs in enumerate(pgraph.mirror_hosts_by_owner):
+            if pairs:
+                owner, (mirror_host, ids) = candidate, pairs[0]
+                node = int(ids[0])
+                break
+        prop.reset_updated()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(owner, 0, node, -5, MIN)
+        prop.reduce_sync()
+        prop.broadcast_sync()
+        prop.reset_updated()
+        assert prop.is_active(mirror_host, node)
+
+    def test_non_gar_variants_always_active(self):
+        from repro.core import RuntimeVariant
+
+        _, pgraph, cluster, prop = setting(variant=RuntimeVariant.SGR_ONLY)
+        prop.reset_updated()
+        prop.reset_updated()
+        assert prop.is_active(0, int(pgraph.parts[0].masters_global[0]))

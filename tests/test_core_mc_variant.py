@@ -1,0 +1,100 @@
+"""MC-variant specifics: the property map on the Memcached-like store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core import MIN, NodePropMap, RuntimeVariant
+from repro.graph import generators
+from repro.kvstore import KvClient
+from repro.partition import partition
+
+
+def setting(hosts=3):
+    graph = generators.road_like(6, 4, seed=0)
+    pgraph = partition(graph, hosts, "oec")
+    cluster = Cluster(hosts, threads_per_host=4)
+    prop = NodePropMap(cluster, pgraph, "m", variant=RuntimeVariant.MC)
+    return graph, pgraph, cluster, prop
+
+
+class TestMcWiring:
+    def test_canonical_values_live_in_kvstore(self):
+        _, _, cluster, prop = setting()
+        prop.set_initial(lambda node: node * 2)
+        client = prop.kv_client
+        key = prop._kv_key(3)
+        server = client.servers[client.server_of(key)]
+        assert server.get(key)[0] == 6
+
+    def test_shared_client_can_be_injected(self):
+        graph = generators.road_like(6, 4, seed=0)
+        pgraph = partition(graph, 2, "oec")
+        cluster = Cluster(2, threads_per_host=4)
+        client = KvClient(cluster)
+        first = NodePropMap(
+            cluster, pgraph, "a", variant=RuntimeVariant.MC, kv_client=client
+        )
+        second = NodePropMap(
+            cluster, pgraph, "b", variant=RuntimeVariant.MC, kv_client=client
+        )
+        first.set_initial(lambda node: 1)
+        second.set_initial(lambda node: 2)
+        # namespaced keys keep the maps separate in the shared store
+        assert first.snapshot()[0] == 1
+        assert second.snapshot()[0] == 2
+
+    def test_reduce_sync_is_communication_noop(self):
+        """Section 6.4: MC reductions apply eagerly via CAS, so ReduceSync
+        carries only the vote + cache refetch, no partial-value scatter."""
+        _, _, cluster, prop = setting()
+        prop.set_initial(lambda node: 100)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, 1, 5, MIN)
+        cluster.reset()
+        prop.reduce_sync()
+        sync_phases = [
+            p for p in cluster.log.phases if p.kind is PhaseKind.REDUCE_SYNC
+        ]
+        assert len(sync_phases) == 1
+        # only the one-byte allreduce vote rides the reduce-sync phase
+        assert max(sync_phases[0].bytes_sent, default=0) <= cluster.num_hosts
+
+    def test_reads_charged_string_key_costs(self):
+        _, _, cluster, prop = setting()
+        prop.set_initial(lambda node: 1)
+        assert cluster.log.total_counters().kv_string_ops > 0
+
+    def test_cas_contention_counted_across_hosts(self):
+        _, _, cluster, prop = setting()
+        prop.set_initial(lambda node: 100)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for host in range(cluster.num_hosts):
+                prop.reduce(host, 0, 1, 50 - host, MIN)
+        counters = cluster.log.total_counters()
+        assert counters.cas_conflicts > 0
+        assert prop.snapshot()[1] == 48  # min of 50, 49, 48
+
+    def test_pin_fetch_covers_mirrors(self):
+        graph = generators.powerlaw_like(6, seed=2)
+        pgraph = partition(graph, 3, "cvc")
+        cluster = Cluster(3, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "m", variant=RuntimeVariant.MC)
+        prop.set_initial(lambda node: node)
+        prop.pin_mirrors(invariant="none")
+        part = next(p for p in pgraph.parts if p.num_mirrors)
+        mirror = int(part.mirrors_global[0])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(part.host_id, mirror) == mirror
+
+    def test_refetch_reflects_cas_updates(self):
+        _, pgraph, cluster, prop = setting()
+        prop.set_initial(lambda node: 100)
+        target = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(1, 0, target, 7, MIN)
+        prop.reduce_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(0, target) == 7

@@ -1,0 +1,297 @@
+"""Node-property map tests: BSP semantics across all runtime variants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core import MIN, SUM, NodePropMap, RuntimeVariant
+from repro.graph import generators
+from repro.partition import partition
+
+ALL_VARIANTS = list(RuntimeVariant)
+
+
+def make_map(variant=RuntimeVariant.KIMBAP, hosts=3, policy="oec", graph=None):
+    graph = graph or generators.road_like(6, 4, seed=0)
+    pgraph = partition(graph, hosts, policy)
+    cluster = Cluster(hosts, threads_per_host=4)
+    prop = NodePropMap(cluster, pgraph, "p", variant=variant)
+    return cluster, pgraph, prop
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+class TestEveryVariant:
+    def test_initialize_and_read_own_masters(self, variant):
+        cluster, pgraph, prop = make_map(variant)
+        prop.set_initial(lambda n: n * 10)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for host in range(cluster.num_hosts):
+                for node in pgraph.parts[host].masters_global.tolist():
+                    assert prop.read(host, node) == node * 10
+
+    def test_snapshot_reflects_init(self, variant):
+        _, pgraph, prop = make_map(variant)
+        prop.set_initial(lambda n: n + 1)
+        snap = prop.snapshot()
+        assert len(snap) == pgraph.num_nodes
+        assert all(snap[n] == n + 1 for n in snap)
+
+    def test_reduce_visible_next_round_at_owner(self, variant):
+        cluster, pgraph, prop = make_map(variant)
+        prop.set_initial(lambda n: 100)
+        target = 5
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, target, 7, MIN)
+        prop.reduce_sync()
+        assert prop.snapshot()[target] == 7
+        assert prop.is_updated()
+
+    def test_no_change_means_not_updated(self, variant):
+        cluster, _, prop = make_map(variant)
+        prop.set_initial(lambda n: 0)
+        prop.reset_updated()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, 3, 5, MIN)  # 0 is already smaller
+        prop.reduce_sync()
+        assert not prop.is_updated()
+
+    def test_request_then_read_remote(self, variant):
+        cluster, pgraph, prop = make_map(variant)
+        prop.set_initial(lambda n: n * 2)
+        # host 0 requests a node owned elsewhere
+        remote = pgraph.parts[-1].masters_global[0]
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(0, remote) == remote * 2
+
+    def test_remote_cache_dropped_after_reduce_sync(self, variant):
+        cluster, pgraph, prop = make_map(variant)
+        prop.set_initial(lambda n: 1)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        prop.reduce_sync()
+        if variant.uses_gar:
+            # GAR: the sorted remote arrays are gone, reads must fail.
+            with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+                with pytest.raises(KeyError):
+                    prop.read(0, remote)
+
+    def test_concurrent_reduces_combine(self, variant):
+        cluster, _, prop = make_map(variant)
+        prop.set_initial(lambda n: 1000)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread, value in enumerate([30, 10, 20]):
+                prop.reduce(0, thread, 2, value, MIN)
+            prop.reduce(1, 0, 2, 5, MIN)  # another host piles on
+        prop.reduce_sync()
+        assert prop.snapshot()[2] == 5
+
+    def test_sum_reduction(self, variant):
+        cluster, _, prop = make_map(variant)
+        prop.set_initial(lambda n: 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(3):
+                prop.reduce(0, thread, 1, 10, SUM)
+        prop.reduce_sync()
+        assert prop.snapshot()[1] == 30
+
+    def test_mixed_ops_rejected(self, variant):
+        cluster, _, prop = make_map(variant)
+        prop.set_initial(lambda n: 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(0, 0, 1, 1, SUM)
+            with pytest.raises(ValueError):
+                prop.reduce(0, 0, 2, 1, MIN)
+
+
+class TestGarSpecifics:
+    def test_master_read_is_vector_read(self):
+        cluster, pgraph, prop = make_map(RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        node = int(pgraph.parts[0].masters_global[0])
+        cluster.reset()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.read(0, node)
+        counters = cluster.log.total_counters()
+        assert counters.vector_reads == 1
+        assert counters.hash_probes == 0
+        assert counters.binsearch_steps == 0
+
+    def test_remote_read_uses_binary_search(self):
+        cluster, pgraph, prop = make_map(RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            prop.request(0, remote)
+        prop.request_sync()
+        cluster.reset()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.read(0, remote)
+        assert cluster.log.total_counters().binsearch_steps >= 1
+
+    def test_request_for_own_master_skipped(self):
+        cluster, pgraph, prop = make_map(RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        own = int(pgraph.parts[0].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            assert not prop.request(0, own)
+        assert len(prop.bitsets[0]) == 0
+
+    def test_request_deduplicated(self):
+        cluster, pgraph, prop = make_map(RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REQUEST_COMPUTE):
+            assert prop.request(0, remote)
+            assert not prop.request(0, remote)
+        assert len(prop.bitsets[0]) == 1
+
+    def test_unrequested_remote_read_raises(self):
+        cluster, pgraph, prop = make_map(RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            with pytest.raises(KeyError):
+                prop.read(0, remote)
+
+
+class TestPinnedMirrors:
+    def make_pinned(self, policy="cvc", invariant="none"):
+        graph = generators.powerlaw_like(6, seed=2)
+        pgraph = partition(graph, 4, policy)
+        cluster = Cluster(4, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "p", variant=RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        prop.pin_mirrors(invariant=invariant)
+        return cluster, pgraph, prop
+
+    def test_pin_materializes_mirror_values(self):
+        cluster, pgraph, prop = self.make_pinned()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for part in pgraph.parts:
+                for mirror in part.mirrors_global.tolist():
+                    assert prop.read(part.host_id, mirror) == mirror
+
+    def test_broadcast_refreshes_updated_mirrors(self):
+        cluster, pgraph, prop = self.make_pinned()
+        # find a node that has a mirror somewhere
+        owner, mirror_host, node = None, None, None
+        for candidate_owner, pairs in enumerate(pgraph.mirror_hosts_by_owner):
+            if pairs:
+                owner = candidate_owner
+                mirror_host, ids = pairs[0]
+                node = int(ids[0])
+                break
+        assert node is not None
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            prop.reduce(owner, 0, node, -5, MIN)
+        prop.reduce_sync()
+        prop.broadcast_sync()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            assert prop.read(mirror_host, node) == -5
+
+    def test_broadcast_without_updates_sends_nothing(self):
+        cluster, _, prop = self.make_pinned()
+        cluster.reset()
+        prop.broadcast_sync()
+        assert cluster.log.total_messages() == 0
+
+    def test_unpin_drops_mirror_values(self):
+        cluster, pgraph, prop = self.make_pinned()
+        prop.unpin_mirrors()
+        part = next(p for p in pgraph.parts if p.num_mirrors)
+        mirror = int(part.mirrors_global[0])
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            with pytest.raises(KeyError):
+                prop.read(part.host_id, mirror)
+
+    def test_push_invariant_skips_outgoing_free_mirrors(self):
+        """Under OEC no mirror has outgoing edges, so a push-invariant pin
+        broadcasts nothing at all - Gluon's elision."""
+        graph = generators.powerlaw_like(6, seed=2)
+        pgraph = partition(graph, 4, "oec")
+        cluster = Cluster(4, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "p", variant=RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        cluster.reset()
+        prop.pin_mirrors(invariant="push")
+        assert cluster.log.total_messages() == 0
+
+    def test_none_invariant_broadcasts_to_all_mirrors(self):
+        graph = generators.powerlaw_like(6, seed=2)
+        pgraph = partition(graph, 4, "oec")
+        cluster = Cluster(4, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "p", variant=RuntimeVariant.KIMBAP)
+        prop.set_initial(lambda n: n)
+        cluster.reset()
+        prop.pin_mirrors(invariant="none")
+        assert cluster.log.total_messages() > 0
+
+    def test_bad_invariant_rejected(self):
+        cluster, _, prop = self.make_pinned()
+        with pytest.raises(ValueError):
+            prop.pin_mirrors(invariant="sideways")
+
+
+class TestCrossVariantAgreement:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 23), st.integers(-100, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_min_reductions_agree_everywhere(self, updates):
+        """All four runtimes must produce identical canonical values for the
+        same reduction stream - the paper's variants differ in cost only."""
+        snapshots = []
+        for variant in ALL_VARIANTS:
+            cluster, pgraph, prop = make_map(variant)
+            prop.set_initial(lambda n: 1000)
+            with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+                for index, (key, value) in enumerate(updates):
+                    host = index % cluster.num_hosts
+                    thread = index % cluster.threads_per_host
+                    prop.reduce(host, thread, key, value, MIN)
+            prop.reduce_sync()
+            snapshots.append(prop.snapshot())
+        assert all(snapshot == snapshots[0] for snapshot in snapshots[1:])
+
+
+class TestMessageAccounting:
+    def test_value_nbytes_scales_reduce_traffic(self):
+        cluster8, pgraph, prop8 = make_map(RuntimeVariant.KIMBAP)
+        prop8.set_initial(lambda n: 0)
+        cluster8.reset()
+        remote = int(pgraph.parts[-1].masters_global[0])
+        with cluster8.phase(PhaseKind.REDUCE_COMPUTE):
+            prop8.reduce(0, 0, remote, -1, MIN)
+        prop8.reduce_sync()
+        bytes8 = cluster8.log.total_bytes()
+
+        cluster32, pgraph2, _ = make_map(RuntimeVariant.KIMBAP)
+        prop32 = NodePropMap(
+            cluster32, pgraph2, "wide", variant=RuntimeVariant.KIMBAP, value_nbytes=32
+        )
+        prop32.set_initial(lambda n: 0)
+        cluster32.reset()
+        with cluster32.phase(PhaseKind.REDUCE_COMPUTE):
+            prop32.reduce(0, 0, remote, -1, MIN)
+        prop32.reduce_sync()
+        assert cluster32.log.total_bytes() > bytes8
+
+    def test_mismatched_cluster_rejected(self):
+        graph = generators.road_like(6, 4, seed=0)
+        pgraph = partition(graph, 2, "oec")
+        cluster = Cluster(3)
+        with pytest.raises(ValueError):
+            NodePropMap(cluster, pgraph, "p")

@@ -1,0 +1,198 @@
+"""Tests for the three reduction strategies (CF / shared-map / KV-CAS)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core.reducers import MIN, SUM
+from repro.core.reduction import (
+    KvCasReduction,
+    SharedMapReduction,
+    ThreadLocalReduction,
+)
+from repro.kvstore import KvClient
+
+
+class TestThreadLocal:
+    def test_no_conflicts_by_construction(self):
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = ThreadLocalReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(4):
+                for _ in range(10):
+                    reduction.reduce(thread, 7, thread, MIN)
+        assert cluster.log.total_counters().cas_conflicts == 0
+        assert cluster.log.total_counters().cas_attempts == 0
+
+    def test_collect_combines_across_threads(self):
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = ThreadLocalReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reduction.reduce(0, 1, 10, MIN)
+            reduction.reduce(1, 1, 3, MIN)
+            reduction.reduce(2, 1, 7, MIN)
+            reduction.reduce(3, 2, 99, MIN)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            combined = reduction.collect(MIN)
+        assert combined == {1: 3, 2: 99}
+
+    def test_collect_clears_maps(self):
+        cluster = Cluster(1, threads_per_host=2)
+        reduction = ThreadLocalReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reduction.reduce(0, 1, 1, SUM)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            reduction.collect(SUM)
+            assert reduction.collect(SUM) == {}
+        assert reduction.pending() == 0
+
+    def test_combine_cost_charged_at_collect(self):
+        cluster = Cluster(1, threads_per_host=2)
+        reduction = ThreadLocalReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reduction.reduce(0, 1, 1, SUM)
+            reduction.reduce(1, 1, 1, SUM)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            reduction.collect(SUM)
+        # combining is communication-side work (the paper's CF overhead)
+        sync = cluster.log.phases[-1]
+        assert sync.counters[0].combine_ops > 0
+
+
+class TestSharedMap:
+    def test_same_thread_never_conflicts(self):
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = SharedMapReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for _ in range(20):
+                reduction.reduce(0, 5, 1, SUM)
+        assert cluster.log.total_counters().cas_conflicts == 0
+
+    def test_cross_thread_same_key_conflicts(self):
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = SharedMapReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(4):
+                for _ in range(5):
+                    reduction.reduce(thread, 5, 1, SUM)
+        counters = cluster.log.total_counters()
+        assert counters.cas_attempts == 20
+        # same-key contention: everything after the first thread's run
+        # (15 updates), plus the structural map contention on every other
+        # write once a second thread appears (writes 6,8,...,20 -> 8)
+        assert counters.cas_conflicts == 15 + 8
+
+    def test_distinct_keys_pay_only_structural_contention(self):
+        """Distinct keys avoid slot conflicts but still contend on the
+        shared map's internals once several threads write it."""
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = SharedMapReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread in range(4):
+                reduction.reduce(thread, thread, 1, SUM)
+        counters = cluster.log.total_counters()
+        # no same-key conflicts; structural: writes 2 and 4 collide
+        assert counters.cas_conflicts == 2
+
+    def test_single_thread_never_conflicts(self):
+        cluster = Cluster(1, threads_per_host=4)
+        reduction = SharedMapReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for key in range(10):
+                reduction.reduce(0, key, 1, SUM)
+        assert cluster.log.total_counters().cas_conflicts == 0
+
+    def test_collect_returns_combined_values(self):
+        cluster = Cluster(1, threads_per_host=2)
+        reduction = SharedMapReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reduction.reduce(0, 1, 4, MIN)
+            reduction.reduce(1, 1, 2, MIN)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            assert reduction.collect(MIN) == {1: 2}
+            assert reduction.collect(MIN) == {}
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5)), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_thread_local(self, stream):
+        """Conflict accounting must not change values: shared-map and CF
+        reductions are semantically identical."""
+        cluster = Cluster(1, threads_per_host=4)
+        shared = SharedMapReduction(cluster, 0)
+        local = ThreadLocalReduction(cluster, 0)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for thread, key in stream:
+                shared.reduce(thread, key, thread * key, SUM)
+                local.reduce(thread, key, thread * key, SUM)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            assert shared.collect(SUM) == local.collect(SUM)
+
+
+class TestKvCas:
+    def make(self):
+        cluster = Cluster(2, threads_per_host=2)
+        client = KvClient(cluster)
+        changed: list[int] = []
+        writers: dict = {}
+        reductions = [
+            KvCasReduction(
+                cluster, host, client, lambda k: f"t:{k}", writers, changed.append
+            )
+            for host in range(2)
+        ]
+        return cluster, client, reductions, changed
+
+    def test_reduce_applies_immediately(self):
+        cluster, client, reductions, changed = self.make()
+        with cluster.phase(PhaseKind.INIT):
+            client.set(0, "t:1", 100)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reductions[0].reduce(0, 1, 7, MIN)
+        assert client.servers[client.server_of("t:1")].get("t:1")[0] == 7
+        assert changed == [1]
+
+    def test_missing_key_created(self):
+        cluster, client, reductions, changed = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reductions[0].reduce(0, 9, 42, MIN)
+        assert client.servers[client.server_of("t:9")].get("t:9")[0] == 42
+
+    def test_no_change_not_reported(self):
+        cluster, client, reductions, changed = self.make()
+        with cluster.phase(PhaseKind.INIT):
+            client.set(0, "t:1", 5)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reductions[0].reduce(0, 1, 50, MIN)
+        assert changed == []
+
+    def test_concurrent_writers_pay_retries(self):
+        cluster, client, reductions, _ = self.make()
+        with cluster.phase(PhaseKind.INIT):
+            client.set(0, "t:3", 100)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reductions[0].reduce(0, 3, 50, MIN)
+            baseline = cluster.log.total_counters().cas_conflicts
+            reductions[1].reduce(0, 3, 40, MIN)  # second host, same key
+            reductions[1].reduce(1, 3, 30, MIN)  # third writer
+        counters = cluster.log.total_counters()
+        assert counters.cas_conflicts > baseline
+        # retries are capped so hubs do not go quadratic
+        from repro.core.reduction import KV_RETRY_CAP
+
+        assert counters.cas_conflicts <= 3 * KV_RETRY_CAP
+
+    def test_collect_is_noop_and_clears_writers(self):
+        cluster, client, reductions, _ = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            reductions[0].reduce(0, 3, 50, MIN)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            assert reductions[0].collect(MIN) == {}
+        # a later round starts with a clean contention slate
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            before = cluster.log.total_counters().cas_conflicts
+            reductions[0].reduce(0, 3, 20, MIN)
+            assert cluster.log.total_counters().cas_conflicts == before

@@ -1,0 +1,140 @@
+"""Unit and property tests for the CSR graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, generators
+
+
+def small_edge_lists(max_nodes: int = 12, max_edges: int = 40):
+    return st.integers(2, max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_edge_list_basic(self):
+        graph = Graph.from_edge_list(3, [(0, 1), (1, 2), (0, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert list(graph.neighbors(0)) == [1, 2]
+        assert list(graph.neighbors(1)) == [2]
+        assert list(graph.neighbors(2)) == []
+
+    def test_empty_graph(self):
+        graph = Graph.from_edge_list(5, [])
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+        assert graph.max_degree() == 0
+
+    def test_weights_follow_edges(self):
+        graph = Graph.from_edge_list(3, [(1, 2), (0, 1)], weights=[5.0, 7.0])
+        assert graph.edge_weight(graph.edge_range(0)[0]) == 7.0
+        assert graph.edge_weight(graph.edge_range(1)[0]) == 5.0
+
+    def test_rejects_out_of_range_source(self):
+        with pytest.raises(ValueError):
+            Graph.from_edge_list(2, [(2, 0)])
+
+    def test_rejects_out_of_range_destination(self):
+        with pytest.raises(ValueError):
+            Graph.from_edge_list(2, [(0, 5)])
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            Graph.from_edge_list(2, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_unweighted_edge_weight_is_one(self):
+        graph = Graph.from_edge_list(2, [(0, 1)])
+        assert graph.edge_weight(0) == 1.0
+
+
+class TestAccessors:
+    def test_edge_sources_expand_indptr(self):
+        graph = Graph.from_edge_list(4, [(0, 1), (0, 2), (2, 3)])
+        assert graph.edge_sources().tolist() == [0, 0, 2]
+
+    def test_degrees(self):
+        graph = Graph.from_edge_list(3, [(0, 1), (0, 2), (1, 0)])
+        assert graph.degree(0) == 2
+        assert graph.degree(1) == 1
+        assert graph.degree(2) == 0
+        assert graph.out_degrees().tolist() == [2, 1, 0]
+        assert graph.max_degree() == 2
+
+    def test_iter_edges(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        graph = Graph.from_edge_list(3, edges)
+        assert sorted(graph.iter_edges()) == sorted(edges)
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        graph = Graph.from_edge_list(3, [(0, 1), (1, 2)]).symmetrized()
+        assert sorted(graph.iter_edges()) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_is_idempotent(self):
+        graph = Graph.from_edge_list(4, [(0, 1), (1, 2), (3, 0)]).symmetrized()
+        again = graph.symmetrized()
+        assert sorted(graph.iter_edges()) == sorted(again.iter_edges())
+
+    def test_deduplicates(self):
+        graph = Graph.from_edge_list(2, [(0, 1), (0, 1), (1, 0)]).symmetrized()
+        assert graph.num_edges == 2
+
+    def test_weighted_symmetrize_keeps_max(self):
+        graph = Graph.from_edge_list(2, [(0, 1), (1, 0)], weights=[3.0, 9.0])
+        sym = graph.symmetrized()
+        assert sym.num_edges == 2
+        assert all(w == 9.0 for w in sym.weights)
+
+    def test_is_symmetric_detects(self):
+        assert not Graph.from_edge_list(2, [(0, 1)]).is_symmetric()
+        assert Graph.from_edge_list(2, [(0, 1), (1, 0)]).is_symmetric()
+
+    @given(small_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetrized_is_symmetric(self, spec):
+        num_nodes, edges = spec
+        sym = Graph.from_edge_list(num_nodes, edges).symmetrized()
+        assert sym.is_symmetric()
+
+    @given(small_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetrized_contains_original_non_loops(self, spec):
+        num_nodes, edges = spec
+        sym = Graph.from_edge_list(num_nodes, edges).symmetrized()
+        present = set(sym.iter_edges())
+        for src, dst in edges:
+            assert (src, dst) in present
+
+    def test_without_self_loops(self):
+        graph = Graph.from_edge_list(3, [(0, 0), (0, 1), (1, 1)]).without_self_loops()
+        assert sorted(graph.iter_edges()) == [(0, 1)]
+
+
+class TestInterop:
+    def test_to_networkx_roundtrip(self):
+        graph = generators.powerlaw_like(5, seed=0)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_nodes
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_to_networkx_weights(self):
+        graph = Graph.from_edge_list(2, [(0, 1)], weights=[2.5])
+        nx_graph = graph.to_networkx()
+        assert nx_graph[0][1]["weight"] == 2.5

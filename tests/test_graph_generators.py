@@ -1,0 +1,150 @@
+"""Tests for the synthetic graph generators: structure and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.stats import approx_diameter, compute_stats
+
+
+class TestRoadLike:
+    def test_shape(self):
+        graph = generators.road_like(16, 8, seed=0)
+        assert graph.num_nodes == 128
+        assert graph.is_symmetric()
+
+    def test_high_diameter_low_degree(self):
+        """Road analogs must keep road-europe's signature: high diameter,
+        near-uniform small degrees (Table 1: max degree 16, |E|/|V| = 2)."""
+        graph = generators.road_like(32, 8, seed=0)
+        assert approx_diameter(graph) >= 30
+        assert graph.max_degree() <= 16
+        avg = graph.num_edges / graph.num_nodes
+        assert 2.0 <= avg <= 6.0
+
+    def test_connected(self):
+        import networkx as nx
+
+        graph = generators.road_like(16, 4, seed=2)
+        assert nx.is_connected(graph.to_networkx().to_undirected())
+
+    def test_deterministic(self):
+        first = generators.road_like(8, 4, seed=7)
+        second = generators.road_like(8, 4, seed=7)
+        assert np.array_equal(first.indices, second.indices)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            generators.road_like(1, 0)
+
+
+class TestRmat:
+    def test_power_law_has_hubs(self):
+        """Power-law analogs must keep friendster's signature: a few very
+        high-degree hubs (Table 1: max degree 3M on 41M nodes)."""
+        graph = generators.powerlaw_like(9, seed=1)
+        degrees = np.sort(graph.out_degrees())[::-1]
+        median = np.median(degrees[degrees > 0])
+        assert degrees[0] > 10 * median
+
+    def test_no_self_loops(self):
+        graph = generators.rmat(6, 8, seed=5)
+        srcs = graph.edge_sources()
+        assert not np.any(srcs == graph.indices)
+
+    def test_symmetric(self):
+        assert generators.rmat(6, 4, seed=0).is_symmetric()
+
+    def test_deterministic(self):
+        first = generators.rmat(7, 8, seed=11)
+        second = generators.rmat(7, 8, seed=11)
+        assert np.array_equal(first.indptr, second.indptr)
+        assert np.array_equal(first.indices, second.indices)
+
+    def test_seed_changes_graph(self):
+        first = generators.rmat(7, 8, seed=1)
+        second = generators.rmat(7, 8, seed=2)
+        assert not np.array_equal(first.indices, second.indices)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            generators.rmat(5, 4, a=0.5, b=0.3, c=0.3)
+
+    def test_web_analogs_denser_than_social(self):
+        social = generators.powerlaw_like(8, seed=0)
+        web = generators.web_like(8, seed=0)
+        assert web.num_edges / web.num_nodes > social.num_edges / social.num_nodes * 0.9
+
+
+class TestWeights:
+    def test_weights_symmetric(self):
+        """Both directions of an undirected edge carry the same weight."""
+        graph = generators.powerlaw_like(6, seed=4, weighted=True)
+        weight_of = {}
+        srcs = graph.edge_sources()
+        for src, dst, weight in zip(srcs, graph.indices, graph.weights):
+            weight_of[(int(src), int(dst))] = float(weight)
+        for (src, dst), weight in weight_of.items():
+            assert weight_of[(dst, src)] == weight
+
+    def test_weights_in_range(self):
+        graph = generators.road_like(8, 4, seed=0, weighted=True)
+        assert np.all(graph.weights >= 1.0)
+        assert np.all(graph.weights < 10.0)
+
+
+class TestSmallGraphs:
+    def test_path(self):
+        graph = generators.path(4)
+        assert sorted(graph.iter_edges()) == [
+            (0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2),
+        ]
+
+    def test_cycle(self):
+        graph = generators.cycle(5)
+        assert graph.num_edges == 10
+        assert all(graph.degree(n) == 2 for n in graph.nodes())
+
+    def test_star(self):
+        graph = generators.star(6)
+        assert graph.degree(0) == 6
+        assert all(graph.degree(n) == 1 for n in range(1, 7))
+
+    def test_complete(self):
+        graph = generators.complete(4)
+        assert graph.num_edges == 12
+
+    def test_disjoint_union(self):
+        union = generators.disjoint_union(generators.path(3), generators.cycle(4))
+        assert union.num_nodes == 7
+        import networkx as nx
+
+        components = list(nx.connected_components(union.to_networkx().to_undirected()))
+        assert len(components) == 2
+
+    def test_erdos_renyi_degree(self):
+        graph = generators.erdos_renyi(200, 6.0, seed=0)
+        avg = graph.num_edges / graph.num_nodes
+        assert 4.0 < avg < 8.0
+
+
+class TestStats:
+    def test_compute_stats_fields(self):
+        graph = generators.road_like(8, 4, seed=0)
+        stats = compute_stats("road", graph)
+        assert stats.num_nodes == graph.num_nodes
+        assert stats.num_edges == graph.num_edges
+        assert stats.max_degree == graph.max_degree()
+        assert stats.approx_diameter > 0
+        assert stats.size_mb > 0
+
+    def test_approx_diameter_path(self):
+        graph = generators.path(10)
+        assert approx_diameter(graph) == 9
+
+    def test_approx_diameter_empty(self):
+        from repro.graph import Graph
+
+        assert approx_diameter(Graph.from_edge_list(3, [])) == 0

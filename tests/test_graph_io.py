@@ -1,0 +1,116 @@
+"""Round-trip tests for graph serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, generators, io
+
+
+class TestEdgeListFormat:
+    def test_roundtrip_unweighted(self, tmp_path):
+        graph = generators.powerlaw_like(5, seed=1)
+        path = tmp_path / "graph.txt"
+        io.save_edge_list(graph, path)
+        loaded = io.load_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+
+    def test_roundtrip_weighted(self, tmp_path):
+        graph = generators.road_like(4, 4, seed=0, weighted=True)
+        path = tmp_path / "graph.txt"
+        io.save_edge_list(graph, path)
+        loaded = io.load_edge_list(path)
+        assert np.allclose(loaded.weights, graph.weights)
+
+    def test_header_preserves_isolated_trailing_nodes(self, tmp_path):
+        graph = Graph.from_edge_list(10, [(0, 1)])
+        path = tmp_path / "graph.txt"
+        io.save_edge_list(graph, path)
+        assert io.load_edge_list(path).num_nodes == 10
+
+    def test_headerless_file_infers_node_count(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 4\n")
+        graph = io.load_edge_list(path)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 2
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n\n0 1\n\n# another\n1 0\n")
+        assert io.load_edge_list(path).num_edges == 2
+
+    def test_partial_weights_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 2.5\n1 0\n")
+        with pytest.raises(ValueError):
+            io.load_edge_list(path)
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tmp_path):
+        graph = generators.web_like(5, seed=2, weighted=True)
+        path = tmp_path / "graph.npz"
+        io.save_npz(graph, path)
+        loaded = io.load_npz(path)
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+        assert np.allclose(loaded.weights, graph.weights)
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        graph = generators.cycle(6)
+        path = tmp_path / "graph.npz"
+        io.save_npz(graph, path)
+        assert io.load_npz(path).weights is None
+
+
+class TestMetisFormat:
+    def test_roundtrip_unweighted(self, tmp_path):
+        graph = generators.road_like(6, 4, seed=3)
+        path = tmp_path / "graph.metis"
+        io.save_metis(graph, path)
+        loaded = io.load_metis(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert sorted(loaded.iter_edges()) == sorted(graph.iter_edges())
+
+    def test_roundtrip_weighted(self, tmp_path):
+        graph = generators.cycle(7, weighted=True)
+        path = tmp_path / "graph.metis"
+        io.save_metis(graph, path)
+        loaded = io.load_metis(path)
+        assert np.allclose(
+            sorted(loaded.weights.tolist()), sorted(graph.weights.tolist())
+        )
+
+    def test_header_counts_undirected_edges(self, tmp_path):
+        graph = generators.path(5)
+        path = tmp_path / "graph.metis"
+        io.save_metis(graph, path)
+        header = path.read_text().splitlines()[0].split()
+        assert header == ["5", "4"]
+
+    def test_rejects_directed_graph(self, tmp_path):
+        directed = Graph.from_edge_list(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            io.save_metis(directed, tmp_path / "x.metis")
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 2\n2\n")  # header says 3 nodes, only 1 line
+        with pytest.raises(ValueError):
+            io.load_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        graph = io.load_metis(path)
+        assert sorted(graph.iter_edges()) == [(0, 1), (1, 0)]
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        graph = Graph.from_edge_list(4, [(0, 1), (1, 0)])
+        path = tmp_path / "iso.metis"
+        io.save_metis(graph, path)
+        assert io.load_metis(path).num_nodes == 4

@@ -1,0 +1,123 @@
+"""Randomized cross-cutting integration tests.
+
+Hypothesis drives random graphs through full algorithm stacks on random
+(policy, host count) configurations, validated with :mod:`repro.verify`.
+These are the widest nets in the suite: any partitioning bug, sync-ordering
+bug, or variant divergence surfaces here as a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import verify
+from repro.algorithms import boruvka_msf, cc_lp, cc_sclp, cc_sv, louvain, mis
+from repro.cluster import Cluster
+from repro.graph import generators
+from repro.partition import POLICIES, partition
+
+configurations = st.tuples(
+    st.sampled_from(sorted(POLICIES)),
+    st.integers(1, 6),
+)
+
+
+def random_graph(seed: int, weighted: bool = False):
+    kind = seed % 3
+    if kind == 0:
+        return generators.erdos_renyi(35, 3.0, seed=seed, weighted=weighted)
+    if kind == 1:
+        return generators.road_like(7, 5, seed=seed, weighted=weighted)
+    return generators.rmat(5, 4, seed=seed, weighted=weighted)
+
+
+class TestConnectedComponentsEverywhere:
+    @given(st.integers(0, 10_000), configurations)
+    @settings(max_examples=20, deadline=None)
+    def test_cc_sv(self, seed, config):
+        policy, hosts = config
+        graph = random_graph(seed)
+        result = cc_sv(Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy))
+        verify.check_components(graph, result.values)
+
+    @given(st.integers(0, 10_000), configurations)
+    @settings(max_examples=15, deadline=None)
+    def test_cc_lp(self, seed, config):
+        policy, hosts = config
+        graph = random_graph(seed)
+        result = cc_lp(Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy))
+        verify.check_components(graph, result.values)
+
+    @given(st.integers(0, 10_000), configurations)
+    @settings(max_examples=15, deadline=None)
+    def test_cc_sclp(self, seed, config):
+        policy, hosts = config
+        graph = random_graph(seed)
+        result = cc_sclp(
+            Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy)
+        )
+        verify.check_components(graph, result.values)
+
+
+class TestOtherAlgorithmsEverywhere:
+    @given(st.integers(0, 10_000), configurations)
+    @settings(max_examples=15, deadline=None)
+    def test_mis(self, seed, config):
+        policy, hosts = config
+        graph = random_graph(seed)
+        result = mis(Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy))
+        verify.check_independent_set(graph, result.values)
+
+    @given(st.integers(0, 10_000), configurations)
+    @settings(max_examples=10, deadline=None)
+    def test_msf(self, seed, config):
+        policy, hosts = config
+        graph = random_graph(seed, weighted=True)
+        result = boruvka_msf(
+            Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy)
+        )
+        verify.check_spanning_forest(graph, result.extra["forest"])
+
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_louvain_partition_valid(self, seed, hosts):
+        graph = random_graph(seed, weighted=True)
+        result = louvain(
+            Cluster(hosts, threads_per_host=4), partition(graph, hosts, "oec")
+        )
+        verify.check_community_partition(graph, result.values)
+        # singleton-start Louvain can never end below singleton modularity
+        import numpy as np
+
+        from repro.algorithms.common import modularity
+
+        singleton = modularity(graph, np.arange(graph.num_nodes))
+        assert result.stats["modularity"] >= singleton - 1e-9
+
+
+class TestDeterminismEverywhere:
+    """Same graph, any configuration -> byte-identical results."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cc_sv_partitioning_invariance(self, seed):
+        graph = random_graph(seed)
+        baseline = cc_sv(Cluster(1), partition(graph, 1, "oec")).values
+        for policy, hosts in (("cvc", 4), ("hvc", 3), ("iec", 2)):
+            result = cc_sv(
+                Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy)
+            )
+            assert result.values == baseline
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_msf_partitioning_invariance(self, seed):
+        graph = random_graph(seed, weighted=True)
+        baseline = boruvka_msf(Cluster(1), partition(graph, 1, "oec")).extra["forest"]
+        for policy, hosts in (("cvc", 4), ("oec", 3)):
+            result = boruvka_msf(
+                Cluster(hosts, threads_per_host=4), partition(graph, hosts, policy)
+            )
+            assert result.extra["forest"] == baseline

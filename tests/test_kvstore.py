@@ -1,0 +1,149 @@
+"""Tests for the Memcached-like key-value store substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.kvstore import CasResult, KvClient, KvServer
+
+
+class TestServer:
+    def test_get_missing(self):
+        assert KvServer(0).get("a") is None
+
+    def test_set_then_get(self):
+        server = KvServer(0)
+        server.set("a", 42)
+        assert server.get("a") == (42, 1)
+
+    def test_set_bumps_version(self):
+        server = KvServer(0)
+        assert server.set("a", 1) == 1
+        assert server.set("a", 2) == 2
+        assert server.get("a") == (2, 2)
+
+    def test_add_only_when_absent(self):
+        server = KvServer(0)
+        assert server.add("a", 1)
+        assert not server.add("a", 2)
+        assert server.get("a") == (1, 1)
+
+    def test_cas_success(self):
+        server = KvServer(0)
+        server.set("a", 1)
+        assert server.cas("a", 2, 1) is CasResult.STORED
+        assert server.get("a") == (2, 2)
+
+    def test_cas_version_mismatch(self):
+        server = KvServer(0)
+        server.set("a", 1)
+        server.set("a", 5)  # version now 2
+        assert server.cas("a", 9, 1) is CasResult.EXISTS
+        assert server.get("a")[0] == 5
+
+    def test_cas_missing_key(self):
+        assert KvServer(0).cas("a", 1, 1) is CasResult.NOT_FOUND
+
+    def test_cas_detects_interleaved_writer(self):
+        """The exact pattern the MC reduction emulation relies on: a racing
+        write between get and cas forces a retry."""
+        server = KvServer(0)
+        server.set("x", 10)
+        _, version = server.get("x")
+        server.set("x", 11)  # the racing writer
+        assert server.cas("x", 12, version) is CasResult.EXISTS
+        # retry: refetch and cas again
+        value, version = server.get("x")
+        assert server.cas("x", min(value, 12), version) is CasResult.STORED
+
+    def test_mget(self):
+        server = KvServer(0)
+        server.set("a", 1)
+        server.set("b", 2)
+        assert server.mget(["a", "b", "c"]) == {"a": (1, 1), "b": (2, 1)}
+
+    def test_delete_and_flush(self):
+        server = KvServer(0)
+        server.set("a", 1)
+        assert server.delete("a")
+        assert not server.delete("a")
+        server.set("b", 1)
+        server.flush()
+        assert len(server) == 0
+
+
+class TestClient:
+    def make(self, hosts=3):
+        cluster = Cluster(hosts)
+        return cluster, KvClient(cluster)
+
+    def test_routing_is_deterministic_and_total(self):
+        _, client = self.make()
+        for key in ("a", "b", "npm:x:123"):
+            server = client.server_of(key)
+            assert 0 <= server < 3
+            assert client.server_of(key) == server
+
+    def test_set_get_roundtrip(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            client.set(0, "k", 7)
+            assert client.get(1, "k") == (7, 1)
+
+    def test_operations_cost_messages(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            client.set(0, "k", 7)
+        # request + response unless the key happens to live on host 0
+        assert cluster.log.total_messages() in (0, 2)
+
+    def test_string_key_cost_charged(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            client.get(0, "some-key")
+        assert cluster.log.total_counters().kv_string_ops == 1
+
+    def test_mget_chunks_messages(self):
+        from repro.kvstore.client import MGET_CHUNK
+
+        cluster, client = self.make(hosts=2)
+        keys = [f"k{i}" for i in range(MGET_CHUNK * 3)]
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            for key in keys:
+                client.set(0, key, 1)
+        cluster.reset()
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            found = client.mget(0, keys)
+        assert len(found) == len(keys)
+        # Far fewer messages than one per key, but more than one per server.
+        assert 0 < cluster.log.total_messages() < 2 * len(keys)
+
+    def test_mget_returns_only_present(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.REQUEST_SYNC):
+            client.set(0, "a", 1)
+            found = client.mget(1, ["a", "missing"])
+        assert found == {"a": (1, 1)}
+
+    def test_cas_via_client(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            client.set(0, "a", 1)
+            value, version = client.get(0, "a")
+            assert client.cas(0, "a", value + 1, version) is CasResult.STORED
+            assert client.get(0, "a")[0] == 2
+
+    def test_server_count_must_match(self):
+        cluster = Cluster(2)
+        with pytest.raises(ValueError):
+            KvClient(cluster, [KvServer(0)])
+
+    def test_flush_all(self):
+        cluster, client = self.make()
+        with cluster.phase(PhaseKind.INIT):
+            client.set(0, "a", 1)
+        client.flush_all()
+        with cluster.phase(PhaseKind.INIT):
+            assert client.get(0, "a") is None

@@ -1,0 +1,120 @@
+"""Memory accounting tests: the paper's max-RSS comparisons and OOM cells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import cc_lp, leiden, louvain
+from repro.baselines import vite_louvain
+from repro.cluster import Cluster
+from repro.cluster.cluster import SimulatedOutOfMemory
+from repro.cluster.metrics import PhaseKind
+from repro.core import MIN, NodePropMap
+from repro.graph import generators
+from repro.partition import partition
+
+GRAPH = generators.road_like(8, 4, seed=2, weighted=True)
+
+
+class TestTracking:
+    def test_peak_is_monotone(self):
+        cluster = Cluster(2)
+        cluster.track_memory(0, "a", 100)
+        cluster.track_memory(0, "a", 10)  # shrinking does not lower the peak
+        assert cluster.peak_memory_slots[0] == 100
+
+    def test_owners_accumulate_per_host(self):
+        cluster = Cluster(2)
+        cluster.track_memory(0, "a", 100)
+        cluster.track_memory(0, "b", 50)
+        cluster.track_memory(1, "a", 10)
+        assert cluster.peak_memory_slots == [150, 10]
+        assert cluster.max_memory_slots() == 150
+
+    def test_release(self):
+        cluster = Cluster(1)
+        cluster.track_memory(0, "a", 100)
+        cluster.release_memory("a")
+        cluster.track_memory(0, "b", 10)
+        assert cluster.peak_memory_slots[0] == 100  # peak sticks
+        assert cluster._live_slots == {(0, "b"): 10}
+
+    def test_limit_raises(self):
+        cluster = Cluster(1, memory_limit_slots=100)
+        cluster.track_memory(0, "a", 60)
+        with pytest.raises(SimulatedOutOfMemory):
+            cluster.track_memory(0, "b", 60)
+
+
+class TestPropMapFootprint:
+    def test_map_reports_on_init(self):
+        pgraph = partition(GRAPH, 2, "oec")
+        cluster = Cluster(2, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "m")
+        prop.set_initial(lambda node: node)
+        assert cluster.max_memory_slots() > 0
+
+    def test_pending_reductions_counted(self):
+        pgraph = partition(GRAPH, 2, "oec")
+        cluster = Cluster(2, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "m")
+        prop.set_initial(lambda node: node)
+        base = cluster.max_memory_slots()
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for key in range(GRAPH.num_nodes):
+                prop.reduce(0, key % 4, key, -1, MIN)
+        prop.reduce_sync()
+        assert cluster.max_memory_slots() > base
+
+    def test_two_maps_cost_more_than_one(self):
+        pgraph = partition(GRAPH, 2, "oec")
+        one = Cluster(2, threads_per_host=4)
+        NodePropMap(one, pgraph, "a").set_initial(lambda n: n)
+        two = Cluster(2, threads_per_host=4)
+        NodePropMap(two, pgraph, "a").set_initial(lambda n: n)
+        NodePropMap(two, pgraph, "b").set_initial(lambda n: n)
+        assert two.max_memory_slots() > one.max_memory_slots()
+
+
+class TestPaperClaims:
+    def test_ld_uses_more_memory_than_lv(self):
+        """Figure 9b's missing points: 'LD runs out-of-memory in some cases
+        because it consumes more memory to store additional information for
+        subclusters compared to LV.'"""
+        lv_cluster = Cluster(2, threads_per_host=4)
+        louvain(lv_cluster, partition(GRAPH, 2, "oec"))
+        ld_cluster = Cluster(2, threads_per_host=4)
+        leiden(ld_cluster, partition(GRAPH, 2, "oec"))
+        assert ld_cluster.max_memory_slots() > lv_cluster.max_memory_slots()
+
+    def test_ld_ooms_where_lv_fits(self):
+        lv_peak = Cluster(2, threads_per_host=4)
+        louvain(lv_peak, partition(GRAPH, 2, "oec"))
+        limit = int(lv_peak.max_memory_slots() * 1.2)
+
+        ok_cluster = Cluster(2, threads_per_host=4, memory_limit_slots=limit)
+        louvain(ok_cluster, partition(GRAPH, 2, "oec"))  # LV fits
+
+        oom_cluster = Cluster(2, threads_per_host=4, memory_limit_slots=limit)
+        with pytest.raises(SimulatedOutOfMemory):
+            leiden(oom_cluster, partition(GRAPH, 2, "oec"))
+
+    def test_kimbap_rss_within_a_small_factor_of_vite(self):
+        """Section 6.2: Kimbap's max RSS ~10% above Vite's (thread-local
+        maps cost memory). Our modeled footprints must stay in that
+        neighbourhood: higher than Vite, but not by multiples."""
+        kimbap_cluster = Cluster(4, threads_per_host=8)
+        louvain(kimbap_cluster, partition(GRAPH, 4, "oec"))
+        vite_cluster = Cluster(4, threads_per_host=8)
+        vite_louvain(vite_cluster, partition(GRAPH, 4, "oec"))
+        ratio = kimbap_cluster.max_memory_slots() / vite_cluster.max_memory_slots()
+        assert 1.0 <= ratio < 3.0
+
+    def test_cc_lp_modest_footprint(self):
+        """Section 6.2: for CC-LP, Kimbap's max RSS ~ Gluon's. One label
+        map: footprint stays within a small multiple of the proxy count."""
+        pgraph = partition(GRAPH, 2, "cvc")
+        cluster = Cluster(2, threads_per_host=4)
+        cc_lp(cluster, pgraph)
+        proxies = max(part.num_local for part in pgraph.parts)
+        assert cluster.max_memory_slots() < 4 * proxies

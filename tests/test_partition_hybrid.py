@@ -1,0 +1,94 @@
+"""Tests for the hybrid vertex-cut policy and cross-policy algorithm runs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import cc_sv, mis
+from repro.cluster import Cluster
+from repro.graph import generators
+from repro.partition import HybridVertexCut, partition
+
+
+class TestHybridVertexCut:
+    def test_registered_in_policy_table(self):
+        from repro.partition import POLICIES
+
+        assert "hvc" in POLICIES
+
+    def test_edges_partitioned_exactly_once(self):
+        graph = generators.powerlaw_like(7, seed=1)
+        pgraph = partition(graph, 4, "hvc")
+        total = sum(part.num_edges() for part in pgraph.parts)
+        assert total == graph.num_edges
+
+    def test_low_degree_edges_follow_destination(self):
+        graph = generators.road_like(8, 4, seed=0)  # uniformly low degree
+        pgraph = HybridVertexCut(threshold=100).partition(graph, 4)
+        # with an unreachable threshold this degenerates to IEC: no mirror
+        # has incoming edges
+        assert not pgraph.any_mirror_has_incoming
+
+    def test_hub_edges_follow_source(self):
+        graph = generators.star(64)
+        pgraph = HybridVertexCut(threshold=8).partition(graph, 4)
+        # the hub's huge in-edge set is spread by source owner: multiple
+        # hosts hold edges into node 0
+        hosts_with_hub_in_edges = 0
+        for part in pgraph.parts:
+            local = part.global_to_local.get(0)
+            if local is not None and part.in_degrees[local] > 0:
+                hosts_with_hub_in_edges += 1
+        assert hosts_with_hub_in_edges > 1
+
+    def test_hybrid_cuts_replication_on_skew(self):
+        """The policy's purpose: on power-law graphs, keeping hub in-edges
+        at their sources avoids fanning source mirrors into the hub's
+        owner, so replication drops below the pure incoming edge-cut."""
+        graph = generators.powerlaw_like(8, seed=2)
+        iec = partition(graph, 8, "iec").replication_factor()
+        hvc = partition(graph, 8, "hvc").replication_factor()
+        assert hvc < iec
+
+    def test_hybrid_matches_iec_on_uniform_graphs(self):
+        """Without hubs the hybrid cut degenerates to IEC exactly."""
+        graph = generators.road_like(16, 8, seed=1)
+        iec = partition(graph, 4, "iec")
+        hvc = partition(graph, 4, "hvc")
+        assert hvc.replication_factor() == pytest.approx(iec.replication_factor())
+
+    def test_default_threshold_derived_from_mean_degree(self):
+        graph = generators.powerlaw_like(6, seed=0)
+        pgraph = HybridVertexCut().partition(graph, 4)
+        assert pgraph.policy == "hvc"
+
+
+class TestAlgorithmsOnHybrid:
+    def test_cc_sv_correct_on_hvc(self):
+        graph = generators.powerlaw_like(6, seed=3)
+        expected = {}
+        for component in nx.connected_components(graph.to_networkx().to_undirected()):
+            smallest = min(component)
+            for node in component:
+                expected[node] = smallest
+        result = cc_sv(Cluster(4, threads_per_host=4), partition(graph, 4, "hvc"))
+        assert {n: result.values[n] for n in range(graph.num_nodes)} == expected
+
+    def test_mis_valid_on_hvc(self):
+        graph = generators.powerlaw_like(6, seed=4)
+        result = mis(Cluster(3, threads_per_host=4), partition(graph, 3, "hvc"))
+        nx_graph = graph.to_networkx().to_undirected()
+        for u, v in nx_graph.edges():
+            assert not (result.values[u] == 1 and result.values[v] == 1)
+
+    def test_hvc_cuts_hub_communication_vs_iec(self):
+        """The point of the hybrid cut: fewer reduction messages funneling
+        into the hub's owner on skewed graphs."""
+        graph = generators.star(200)
+        iec_cluster = Cluster(4, threads_per_host=4)
+        cc_sv(iec_cluster, partition(graph, 4, "iec"))
+        hvc_cluster = Cluster(4, threads_per_host=4)
+        cc_sv(hvc_cluster, partition(graph, 4, "hvc"))
+        assert hvc_cluster.elapsed().total <= iec_cluster.elapsed().total * 1.2

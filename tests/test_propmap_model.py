@@ -1,0 +1,199 @@
+"""Model-based testing of the node-property map.
+
+A hypothesis stateful machine drives a NodePropMap through random
+BSP rounds (reduce / request / sync / pin / unpin) alongside a trivial
+reference model (a dict + pending-reduction buffer). After every
+reduce_sync the canonical values must match the model exactly, on every
+runtime variant. This is the strongest correctness net over the map's
+semantics: reductions visible next round, caches dropped, broadcast
+freshness, per-variant equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.core import MIN, SUM, NodePropMap, RuntimeVariant
+from repro.graph import generators
+from repro.partition import partition
+
+GRAPH = generators.road_like(5, 4, seed=0)
+NUM_HOSTS = 3
+NUM_NODES = GRAPH.num_nodes
+
+
+class PropMapMachine(RuleBasedStateMachine):
+    """Random reduce/sync/pin sequences checked against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.variant = RuntimeVariant.KIMBAP
+        self.in_compute = False
+
+    @initialize(
+        variant=st.sampled_from(list(RuntimeVariant)),
+        initial=st.integers(0, 100),
+    )
+    def setup(self, variant, initial):
+        self.variant = variant
+        self.pgraph = partition(GRAPH, NUM_HOSTS, "oec")
+        self.cluster = Cluster(NUM_HOSTS, threads_per_host=4)
+        self.prop = NodePropMap(self.cluster, self.pgraph, "m", variant=variant)
+        self.prop.set_initial(lambda node: initial + node)
+        self.model = {node: initial + node for node in range(NUM_NODES)}
+        self.pending: dict[int, int] = {}
+        self.pinned = False
+        self._phase_cm = None
+
+    def _ensure_compute(self):
+        if not self.in_compute:
+            self._phase_cm = self.cluster.phase(PhaseKind.REDUCE_COMPUTE)
+            self._phase_cm.__enter__()
+            self.in_compute = True
+
+    def _end_compute(self):
+        if self.in_compute:
+            self._phase_cm.__exit__(None, None, None)
+            self.in_compute = False
+
+    @rule(
+        host=st.integers(0, NUM_HOSTS - 1),
+        thread=st.integers(0, 3),
+        key=st.integers(0, NUM_NODES - 1),
+        value=st.integers(-50, 150),
+    )
+    def reduce_min(self, host, thread, key, value):
+        self._ensure_compute()
+        self.prop.reduce(host, thread, key, value, MIN)
+        self.pending[key] = min(self.pending.get(key, value), value)
+
+    @rule(
+        host=st.integers(0, NUM_HOSTS - 1),
+        key=st.integers(0, NUM_NODES - 1),
+    )
+    def request(self, host, key):
+        self._ensure_compute()
+        self.prop.request(host, key)
+
+    @rule()
+    def request_sync(self):
+        self._end_compute()
+        self.prop.request_sync()
+
+    @rule()
+    def reduce_sync(self):
+        self._end_compute()
+        self.prop.reduce_sync()
+        for key, value in self.pending.items():
+            if self.variant.uses_kvstore:
+                # MC applies reductions eagerly; same result either way
+                pass
+            self.model[key] = min(self.model[key], value)
+        self.pending.clear()
+
+    @precondition(lambda self: not self.pinned)
+    @rule()
+    def pin(self):
+        self._end_compute()
+        if self.pending:
+            # MC applies reduces eagerly; a pin's fetch would observe them
+            # mid-round. Keep the model simple: sync first.
+            self.reduce_sync()
+        self.prop.pin_mirrors(invariant="none")
+        self.pinned = True
+
+    @precondition(lambda self: self.pinned)
+    @rule()
+    def unpin(self):
+        self._end_compute()
+        self.prop.unpin_mirrors()
+        self.pinned = False
+
+    @precondition(lambda self: self.pinned)
+    @rule()
+    def broadcast(self):
+        self._end_compute()
+        self.prop.broadcast_sync()
+
+    @invariant()
+    def canonical_matches_model_when_quiet(self):
+        # Only compare at quiet points: reductions in flight are by
+        # definition not yet canonical. MC applies eagerly, so its
+        # snapshot may already include pending updates - fold them in.
+        if self.pending:
+            return
+        snapshot = self.prop.snapshot()
+        assert snapshot == self.model
+
+    def teardown(self):
+        self._end_compute()
+
+
+PropMapMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPropMapModel = PropMapMachine.TestCase
+
+
+class TestModelEdgeCases:
+    """Directed scenarios the random walk may not hit often."""
+
+    def make(self, variant=RuntimeVariant.KIMBAP):
+        pgraph = partition(GRAPH, NUM_HOSTS, "oec")
+        cluster = Cluster(NUM_HOSTS, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "m", variant=variant)
+        prop.set_initial(lambda node: 100)
+        return cluster, prop
+
+    @pytest.mark.parametrize("variant", list(RuntimeVariant))
+    def test_two_rounds_accumulate(self, variant):
+        cluster, prop = self.make(variant)
+        for round_value in (50, 20, 70):
+            with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+                prop.reduce(0, 0, 3, round_value, MIN)
+            prop.reduce_sync()
+        assert prop.snapshot()[3] == 20
+
+    @pytest.mark.parametrize("variant", list(RuntimeVariant))
+    def test_sum_across_hosts_and_threads(self, variant):
+        cluster, prop = self.make(variant)
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            for host in range(NUM_HOSTS):
+                for thread in range(4):
+                    prop.reduce(host, thread, 7, 1, SUM)
+        prop.reduce_sync()
+        assert prop.snapshot()[7] == 100 + NUM_HOSTS * 4
+
+    def test_pin_then_reduce_then_broadcast_keeps_mirrors_fresh(self):
+        graph = generators.powerlaw_like(6, seed=1)
+        pgraph = partition(graph, 4, "cvc")
+        cluster = Cluster(4, threads_per_host=4)
+        prop = NodePropMap(cluster, pgraph, "m")
+        prop.set_initial(lambda node: node)
+        prop.pin_mirrors(invariant="none")
+        for _ in range(3):
+            with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+                for part in pgraph.parts:
+                    for mirror in part.mirrors_global.tolist():
+                        value = prop.read(part.host_id, mirror)
+                        prop.reduce(part.host_id, 0, mirror, value - 1, MIN)
+            prop.reduce_sync()
+            prop.broadcast_sync()
+        # after 3 decrement rounds every mirror-carrying node dropped by 3
+        snapshot = prop.snapshot()
+        mirrored = {
+            int(g) for part in pgraph.parts for g in part.mirrors_global
+        }
+        for node in mirrored:
+            assert snapshot[node] == node - 3
