@@ -54,6 +54,14 @@ def test_fig11_lv_variants(benchmark, graph, hosts, figure_report):
     benchmark.extra_info["kimbap_total_s"] = results[RuntimeVariant.KIMBAP].total
     benchmark.extra_info["mc_total_s"] = results[RuntimeVariant.MC].total
 
+    # Counter signatures (now serialized into the JSON reports): the full
+    # map reads remotes by binary search, the hash-layout variants by hash
+    # probe, and MC pays per-op string-key costs.
+    assert results[RuntimeVariant.KIMBAP].counters["binsearch_steps"] > 0
+    assert results[RuntimeVariant.SGR_CF].counters["hash_probes"] > 0
+    assert results[RuntimeVariant.SGR_CF].counters["binsearch_steps"] == 0
+    assert results[RuntimeVariant.MC].counters["kv_string_ops"] > 0
+
     totals = [results[v].total for v in VARIANT_ORDER]
     assert totals[0] > totals[1] >= totals[2] > totals[3], (
         f"expected MC > SGR-only >= SGR+CF > full, got {totals}"

@@ -31,6 +31,14 @@ def master_read_fraction(app: str, graph_name: str, hosts: int):
     counters = cluster.log.total_counters()
     total = counters.reads_master + counters.reads_remote
     fraction = counters.reads_master / max(total, 1)
+    # The locality statistics are zero-weight mirrors of the priced read
+    # events; total_events() must not double-count them, or this very
+    # measurement would inflate every event total it rides along with.
+    assert counters.total_events() == sum(
+        value
+        for name, value in counters.as_dict().items()
+        if name not in ("reads_master", "reads_remote")
+    )
     return counters.reads_master, counters.reads_remote, fraction
 
 

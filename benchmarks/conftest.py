@@ -13,12 +13,15 @@ Set ``REPRO_BENCH_FAST=1`` to run a reduced sweep (fewer host counts), and
 
 from __future__ import annotations
 
+import json
 import os
 from collections import defaultdict
 
 import pytest
 
 _RESULTS: dict[str, list] = defaultdict(list)
+
+REPORT_SCHEMA = "repro-bench-report/v1"
 
 
 def record(module: str, result) -> None:
@@ -64,3 +67,16 @@ def figure_report(request):
     short = module.rsplit(".", 1)[-1]
     with open(os.path.join(reports_dir, f"{short}.txt"), "w") as handle:
         handle.write(text)
+    # Machine-readable twin of the text table: every RunResult row lands in
+    # the JSON report under "results" (the BENCH_*.json perf trajectory);
+    # pre-formatted tuple rows are kept verbatim under "rows".
+    report = {
+        "schema": REPORT_SCHEMA,
+        "module": short,
+        "title": title,
+        "headers": list(headers),
+        "results": [row.to_dict() for row in rows if hasattr(row, "to_dict")],
+        "rows": [list(row) for row in rows if not hasattr(row, "to_dict")],
+    }
+    with open(os.path.join(reports_dir, f"{short}.json"), "w") as handle:
+        json.dump(report, handle, indent=1)

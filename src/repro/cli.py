@@ -7,19 +7,23 @@ Examples::
     python -m repro run LV --graph powerlaw --hosts 8 --variant mc
     python -m repro variants CC-SV --graph powerlaw --hosts 4
     python -m repro compare-lv --graph road --hosts 4   # Kimbap vs Vite
+    python -m repro trace BFS --graph road --hosts 4 --out trace.json
+    python -m repro profile LV --graph powerlaw --hosts 4 --top 10
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.core.variants import RuntimeVariant
 from repro.eval.harness import KIMBAP_APPS, run_galois, run_kimbap, run_vite
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_phase_breakdown, format_table
 from repro.eval.workloads import GRAPHS, load_graph
 from repro.graph.stats import compute_stats
+from repro.trace import top_phases, write_chrome_trace
 
 VARIANTS_BY_LABEL = {variant.label: variant for variant in RuntimeVariant}
 
@@ -84,6 +88,65 @@ def cmd_compare_lv(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    variant = VARIANTS_BY_LABEL[args.variant]
+    result = run_kimbap(
+        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+    )
+    timeline = result.timeline()
+    write_chrome_trace(args.out, timeline)
+    cluster = result.cluster
+    print(_result_rows([result]))
+    print(format_phase_breakdown(cluster.log, cluster.cost_model, result.threads))
+    print(
+        f"wrote {len(cluster.log.phases)} phases x {result.hosts} hosts "
+        f"({timeline.total:.3f} modeled s) to {args.out}"
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=1)
+        print(f"wrote run result JSON to {args.report}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    variant = VARIANTS_BY_LABEL[args.variant]
+    result = run_kimbap(
+        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+    )
+    cluster = result.cluster
+    costs = top_phases(cluster.log, cluster.cost_model, result.threads, k=args.top)
+    rows = []
+    for cost in costs:
+        share = 100.0 * cost.time.total / result.total if result.total else 0.0
+        total_units = sum(cost.breakdown.values())
+        attribution = "  ".join(
+            f"{name}:{100.0 * units / total_units:.0f}%"
+            for name, units in sorted(
+                cost.breakdown.items(), key=lambda item: -item[1]
+            )[:3]
+        )
+        rows.append(
+            (
+                cost.phase_index,
+                cost.round,
+                cost.kind.value,
+                cost.operator or cost.label or "-",
+                f"{cost.time.total:.4f}",
+                f"{share:.1f}%",
+                attribution or "-",
+            )
+        )
+    print(_result_rows([result]))
+    print(
+        format_table(
+            ("#", "round", "phase", "operator", "total (s)", "share", "top weighted units"),
+            rows,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Kimbap reproduction command line"
@@ -117,6 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare-lv", help="Kimbap vs Vite vs Galois Louvain")
     common(compare)
     compare.set_defaults(fn=cmd_compare_lv)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one application and export a Chrome trace_event JSON "
+        "timeline (load in chrome://tracing or Perfetto)",
+    )
+    trace.add_argument("app", choices=sorted(KIMBAP_APPS))
+    common(trace)
+    trace.add_argument(
+        "--variant", choices=sorted(VARIANTS_BY_LABEL), default=RuntimeVariant.KIMBAP.label
+    )
+    trace.add_argument("--out", default="trace.json", help="trace output path")
+    trace.add_argument(
+        "--report", default=None, help="also write the RunResult JSON here"
+    )
+    trace.set_defaults(fn=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="top-k costliest phases by modeled time, with attribution"
+    )
+    profile.add_argument("app", choices=sorted(KIMBAP_APPS))
+    common(profile)
+    profile.add_argument(
+        "--variant", choices=sorted(VARIANTS_BY_LABEL), default=RuntimeVariant.KIMBAP.label
+    )
+    profile.add_argument("--top", type=int, default=10)
+    profile.set_defaults(fn=cmd_profile)
     return parser
 
 

@@ -8,12 +8,19 @@ accounting. See DESIGN.md section 1 for why this substitution preserves the
 paper's measured effects.
 """
 
-from repro.cluster.metrics import Counters, PhaseKind, PhaseRecord, MetricsLog
+from repro.cluster.metrics import (
+    STATISTIC_FIELDS,
+    Counters,
+    PhaseKind,
+    PhaseRecord,
+    MetricsLog,
+)
 from repro.cluster.network import Network
 from repro.cluster.costmodel import CostModel, ModeledTime
 from repro.cluster.cluster import Cluster, Host
 
 __all__ = [
+    "STATISTIC_FIELDS",
     "Counters",
     "PhaseKind",
     "PhaseRecord",

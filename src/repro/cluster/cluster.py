@@ -63,6 +63,10 @@ class Cluster:
         self.network = Network(num_hosts)
         self.log = MetricsLog(num_hosts)
         self._current: PhaseRecord | None = None
+        # Round/operator attribution for traces and profiles: phases opened
+        # before any loop round belong to round 0; kimbap_while (and the
+        # baseline drivers) advance the round counter once per BSP round.
+        self.current_round = 0
         # Memory accounting: property maps (and baselines) report their
         # per-host live value-slot footprint; the cluster tracks the peak
         # (the paper's max-RSS measure) and, with a limit configured,
@@ -75,18 +79,29 @@ class Cluster:
 
     @contextlib.contextmanager
     def phase(
-        self, kind: PhaseKind, parallel: bool = True, label: str = ""
+        self,
+        kind: PhaseKind,
+        parallel: bool = True,
+        label: str = "",
+        operator: str = "",
     ) -> Iterator[PhaseRecord]:
         """Open a phase; all events recorded inside belong to it.
 
         Phases do not nest: the BSP execution model is a flat sequence of
-        phases inside each round.
+        phases inside each round. ``operator`` names the operator body or
+        collective for trace attribution (defaults to the label).
         """
         if self._current is not None:
             raise RuntimeError(
                 f"phase {self._current.kind} is still open; phases do not nest"
             )
-        record = self.log.start_phase(kind, parallel=parallel, label=label)
+        record = self.log.start_phase(
+            kind,
+            parallel=parallel,
+            label=label,
+            round=self.current_round,
+            operator=operator or label,
+        )
         self._current = record
         self.network.bind_phase(record)
         try:
@@ -113,11 +128,17 @@ class Cluster:
     def elapsed_by_kind(self) -> dict[PhaseKind, ModeledTime]:
         return self.cost_model.time_by_kind(self.log, self.threads_per_host)
 
+    def advance_round(self) -> int:
+        """Start the next BSP round; later phases carry the new round id."""
+        self.current_round += 1
+        return self.current_round
+
     def reset(self) -> None:
         """Drop all recorded metrics (e.g. to exclude loading/partitioning)."""
         if self._current is not None:
             raise RuntimeError("cannot reset inside an open phase")
         self.log = MetricsLog(self.num_hosts)
+        self.current_round = 0
 
     def thread_of(self, index: int, total: int) -> int:
         return static_thread(index, total, self.threads_per_host)

@@ -30,15 +30,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.metrics import Counters, MetricsLog, PhaseKind, PhaseRecord
+from repro.cluster.metrics import (
+    STATISTIC_FIELDS,
+    Counters,
+    MetricsLog,
+    PhaseKind,
+    PhaseRecord,
+)
 
 
 DEFAULT_WEIGHTS: dict[str, float] = {
     "node_iters": 1.0,
     "edge_iters": 1.0,
     "local_ops": 1.0,
-    "reads_master": 0.0,  # statistics only (Section 4.2 locality measure)
-    "reads_remote": 0.0,
     "vector_reads": 1.0,
     "binsearch_steps": 1.0,
     "hash_probes": 4.0,
@@ -49,6 +53,9 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "materialize_ops": 3.0,
     "kv_string_ops": 25.0,
 }
+# Statistics mirrors (Section 4.2 locality measure) are priced at zero; the
+# set lives in metrics.py so total_events() and the weights cannot drift.
+DEFAULT_WEIGHTS.update({name: 0.0 for name in STATISTIC_FIELDS})
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,32 @@ class CostModel:
 
     def units(self, counters: Counters) -> float:
         return sum(self.weights[name] * value for name, value in counters.as_dict().items())
+
+    def units_breakdown(self, counters: Counters) -> dict[str, float]:
+        """Weighted units contributed by each counter kind (zero entries
+        dropped) - the attribution shown by ``repro profile``."""
+        return {
+            name: self.weights[name] * value
+            for name, value in counters.as_dict().items()
+            if self.weights[name] * value != 0.0
+        }
+
+    def host_phase_time(
+        self, phase: PhaseRecord, host: int, threads: int
+    ) -> ModeledTime:
+        """One host's own busy time inside a phase (its compute units plus
+        its own traffic), before the BSP barrier extends it to the slowest
+        host. Used by the trace exporter to show per-host utilization."""
+        divisor = threads if phase.parallel else 1
+        compute = (
+            self.units(phase.counters[host]) / divisor
+        ) * self.seconds_per_unit
+        comm = self.alpha * max(
+            phase.msgs_sent[host], phase.msgs_recv[host]
+        ) + self.beta * max(phase.bytes_sent[host], phase.bytes_recv[host])
+        if phase.kind.is_sync:
+            return ModeledTime(0.0, compute + comm)
+        return ModeledTime(compute, comm)
 
     def phase_time(self, phase: PhaseRecord, threads: int) -> ModeledTime:
         divisor = threads if phase.parallel else 1

@@ -31,6 +31,13 @@ class PhaseKind(enum.Enum):
         )
 
 
+# Counter fields that are statistics mirrors of priced events, not events of
+# their own: every master/remote read already shows up as a vector_read,
+# hash_probe or binsearch_step. The cost model gives these weight 0 and
+# `Counters.total_events` excludes them, both from this one set.
+STATISTIC_FIELDS = frozenset({"reads_master", "reads_remote"})
+
+
 @dataclass
 class Counters:
     """Additive per-host event counters for one phase.
@@ -67,7 +74,12 @@ class Counters:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def total_events(self) -> int:
-        return sum(getattr(self, f.name) for f in fields(self))
+        """Priced events only: statistics mirrors would double-count reads."""
+        return sum(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in STATISTIC_FIELDS
+        )
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -75,7 +87,13 @@ class Counters:
 
 @dataclass
 class PhaseRecord:
-    """One executed phase: counters and traffic for every host."""
+    """One executed phase: counters and traffic for every host.
+
+    ``round`` is the BSP round the phase ran in (0 for pre-loop phases such
+    as initialization; ``kimbap_while`` rounds count from 1) and
+    ``operator`` names the operator or collective that opened the phase -
+    together they let traces and profiles attribute modeled time.
+    """
 
     kind: PhaseKind
     parallel: bool
@@ -85,9 +103,19 @@ class PhaseRecord:
     msgs_recv: list[int]
     bytes_recv: list[int]
     label: str = ""
+    round: int = 0
+    operator: str = ""
 
     @classmethod
-    def empty(cls, kind: PhaseKind, num_hosts: int, parallel: bool, label: str = "") -> "PhaseRecord":
+    def empty(
+        cls,
+        kind: PhaseKind,
+        num_hosts: int,
+        parallel: bool,
+        label: str = "",
+        round: int = 0,
+        operator: str = "",
+    ) -> "PhaseRecord":
         return cls(
             kind=kind,
             parallel=parallel,
@@ -97,6 +125,8 @@ class PhaseRecord:
             msgs_recv=[0] * num_hosts,
             bytes_recv=[0] * num_hosts,
             label=label,
+            round=round,
+            operator=operator,
         )
 
 
@@ -107,8 +137,17 @@ class MetricsLog:
     num_hosts: int
     phases: list[PhaseRecord] = field(default_factory=list)
 
-    def start_phase(self, kind: PhaseKind, parallel: bool = True, label: str = "") -> PhaseRecord:
-        record = PhaseRecord.empty(kind, self.num_hosts, parallel, label)
+    def start_phase(
+        self,
+        kind: PhaseKind,
+        parallel: bool = True,
+        label: str = "",
+        round: int = 0,
+        operator: str = "",
+    ) -> PhaseRecord:
+        record = PhaseRecord.empty(
+            kind, self.num_hosts, parallel, label, round=round, operator=operator
+        )
         self.phases.append(record)
         return record
 

@@ -20,6 +20,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import Counters
 from repro.core.reducers import ReduceOp
 from repro.partition.base import PartitionedGraph
 
@@ -67,7 +68,7 @@ class GarHostStore:
             return None
         if self._masters_contiguous:
             return key - self._master_base
-        self.cluster.counters(self.host_id).hash_probes += 1
+        self._check_counters().hash_probes += 1
         return self.part.global_to_local[key]
 
     def _mirror_local(self, key: int) -> int | None:
@@ -78,15 +79,44 @@ class GarHostStore:
 
     # -- reads ----------------------------------------------------------------
 
+    def _check_counters(self) -> Counters:
+        """Counters for readability checks: compiler-inserted ``can_read``
+        probes cost the same machine work as the read they guard, so they
+        are metered identically - but checks issued outside a measured
+        phase (test setup, verification) fall back to a detached scratch
+        ``Counters`` and stay free."""
+        if self.cluster.in_phase:
+            return self.cluster.counters(self.host_id)
+        return Counters()
+
     def can_read(self, key: int) -> bool:
-        if self.owner[key] == self.host_id:
-            return True
-        if self.pinned and self._mirror_local(key) is not None:
-            return True
+        counters = self._check_counters()
+        local = self.master_local(key)
+        if local is not None:
+            # Mirrors read()'s master path: checking the slot is a dense
+            # vector load. An uninitialized master is NOT readable (read()
+            # raises), so the value must be materialized too.
+            counters.vector_reads += 1
+            return self.values[local] is not None
+        if self.pinned:
+            mirror = self._mirror_local(key)
+            if mirror is not None:
+                counters.hash_probes += 1
+                counters.vector_reads += 1
+                # Pinned but not yet broadcast mirrors hold no value; read()
+                # raises for them, so can_read must say False and fall
+                # through to the requested-remote cache.
+                if self.values[mirror] is not None:
+                    return True
         if self.remote_layout == "hash":
+            counters.hash_probes += 1
             return key in self._remote_hash
-        index = np.searchsorted(self._remote_keys, key)
-        return bool(index < self._remote_keys.size and self._remote_keys[index] == key)
+        size = self._remote_keys.size
+        if not size:
+            return False
+        counters.binsearch_steps += int(math.log2(size)) + 1
+        index = int(np.searchsorted(self._remote_keys, key))
+        return bool(index < size and self._remote_keys[index] == key)
 
     def read(self, key: int) -> Any:
         counters = self.cluster.counters(self.host_id)
@@ -105,9 +135,12 @@ class GarHostStore:
                 counters.hash_probes += 1
                 counters.vector_reads += 1
                 value = self.values[mirror]
-                if value is None:
-                    raise KeyError(f"mirror {key} pinned but not yet broadcast")
-                return value
+                if value is not None:
+                    return value
+                # Pinned but not yet broadcast: the mirror slot is empty,
+                # but the key may still have been requested and materialized
+                # this round - fall through to the remote cache (matching
+                # can_read's contract).
         if self.remote_layout == "hash":
             counters.hash_probes += 1
             if key in self._remote_hash:
@@ -121,7 +154,8 @@ class GarHostStore:
                     return self._remote_values[index]
         raise KeyError(
             f"node {key} not readable on host {self.host_id}: "
-            "not a master, not a pinned mirror, and not requested this round"
+            "not a master, not a broadcast pinned mirror, and not requested "
+            "this round"
         )
 
     def read_local(self, local_id: int) -> Any:
@@ -180,21 +214,25 @@ class GarHostStore:
         until the next reduce-sync drops the cache. New values win - they
         are fresher reads of the same canonical masters.
         """
+        installed = len(values)
         if self.remote_layout == "hash":
             self._remote_hash.update(zip(keys.tolist(), values))
-            self.cluster.counters(self.host_id).materialize_ops += len(values)
+            self.cluster.counters(self.host_id).materialize_ops += installed
             return
-        if self._remote_keys.size:
-            merged = {
-                int(k): v for k, v in zip(self._remote_keys.tolist(), self._remote_values)
-            }
-            merged.update(zip(keys.tolist(), values))
-            keys = np.fromiter(merged.keys(), dtype=np.int64, count=len(merged))
-            values = list(merged.values())
-        order = np.argsort(keys)
+        # Deduplicate last-wins *before* sorting: a batch may repeat a key
+        # (e.g. with request dedup disabled), and np.argsort's default
+        # quicksort is not stable, so without this the surviving value of a
+        # same-key tie would be backend-internal instead of the newest one.
+        merged = {
+            int(k): v for k, v in zip(self._remote_keys.tolist(), self._remote_values)
+        }
+        merged.update(zip((int(k) for k in keys.tolist()), values))
+        keys = np.fromiter(merged.keys(), dtype=np.int64, count=len(merged))
+        values = list(merged.values())
+        order = np.argsort(keys, kind="stable")
         self._remote_keys = keys[order]
         self._remote_values = [values[i] for i in order]
-        self.cluster.counters(self.host_id).materialize_ops += len(values)
+        self.cluster.counters(self.host_id).materialize_ops += installed
 
     def drop_remote(self) -> None:
         self._remote_keys = np.empty(0, dtype=np.int64)
@@ -257,6 +295,10 @@ class HashHostStore:
             yield from (int(g) for g in self.part.mirrors_global)
 
     def can_read(self, key: int) -> bool:
+        # Priced like read(): one hash probe per readability check (checks
+        # outside a measured phase are free, as in GarHostStore).
+        if self.cluster.in_phase:
+            self.cluster.counters(self.host_id).hash_probes += 1
         return key in self.cache or (
             self.hash_owner(key) == self.host_id and key in self.owned
         )

@@ -10,7 +10,7 @@ way the paper's tables and figures report them
 
 from repro.eval.workloads import GRAPHS, GraphSpec, load_graph, medium_host_counts
 from repro.eval.harness import RunResult, run_galois, run_gluon, run_kimbap, run_vite
-from repro.eval.reporting import format_table, print_series
+from repro.eval.reporting import format_phase_breakdown, format_table, print_series
 
 __all__ = [
     "GRAPHS",
@@ -22,6 +22,7 @@ __all__ = [
     "run_vite",
     "run_gluon",
     "run_galois",
+    "format_phase_breakdown",
     "format_table",
     "print_series",
 ]

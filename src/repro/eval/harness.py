@@ -90,9 +90,17 @@ GALOIS_APPS: dict[str, Callable] = {
 THREADS_PER_HOST = 48  # Stampede2 SKX: 48 threads per host
 
 
+RESULT_SCHEMA = "repro-run-result/v1"
+
+
 @dataclass
 class RunResult:
-    """One measured cell of a paper table or figure."""
+    """One measured cell of a paper table or figure.
+
+    ``counters`` are the run's summed event counters (the cost-model
+    inputs); ``cluster`` keeps the simulated cluster - and with it the full
+    phase log - alive so traces and profiles can be built from the result.
+    """
 
     system: str
     app: str
@@ -104,6 +112,9 @@ class RunResult:
     messages: int = 0
     bytes: int = 0
     time_by_kind: dict[PhaseKind, ModeledTime] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    threads: int = THREADS_PER_HOST
+    cluster: Cluster | None = field(default=None, repr=False, compare=False)
 
     @property
     def total(self) -> float:
@@ -119,6 +130,39 @@ class RunResult:
             round(self.time.communication, 3),
             round(self.total, 3),
         )
+
+    def timeline(self):
+        """Modeled per-host timeline of this run (``repro.trace.Timeline``)."""
+        if self.cluster is None:
+            raise ValueError("run result carries no cluster; cannot build a timeline")
+        from repro.trace import build_timeline
+
+        return build_timeline(
+            self.cluster.log, self.cluster.cost_model, self.threads
+        )
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (the ``BENCH_*.json`` schema)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "system": self.system,
+            "app": self.app,
+            "graph": self.graph,
+            "hosts": self.hosts,
+            "threads": self.threads,
+            "comp": self.time.computation,
+            "comm": self.time.communication,
+            "total": self.total,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "counters": dict(self.counters),
+            "stats": {key: float(value) for key, value in self.stats.items()},
+            "time_by_kind": {
+                kind.value: {"comp": t.computation, "comm": t.communication}
+                for kind, t in self.time_by_kind.items()
+            },
+        }
 
 
 def _finish(
@@ -140,6 +184,9 @@ def _finish(
         messages=cluster.log.total_messages(),
         bytes=cluster.log.total_bytes(),
         time_by_kind=cluster.elapsed_by_kind(),
+        counters=cluster.log.total_counters().as_dict(),
+        threads=cluster.threads_per_host,
+        cluster=cluster,
     )
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.cluster.costmodel import CostModel, ModeledTime
+from repro.cluster.metrics import MetricsLog, PhaseKind
 from repro.eval.harness import RunResult
 
 
@@ -35,6 +37,57 @@ def print_series(title: str, results: Iterable[RunResult]) -> str:
     text = f"\n== {title} ==\n{body}"
     print(text)
     return text
+
+
+def phase_breakdown_rows(
+    log: MetricsLog, cost_model: CostModel, threads: int
+) -> list[tuple]:
+    """Per-(round, PhaseKind) modeled-time aggregation, in execution order.
+
+    Rounds appear in the order they ran; within a round, kinds appear in
+    the order their first phase opened - so the table reads like the BSP
+    schedule itself.
+    """
+    order: list[tuple[int, PhaseKind]] = []
+    times: dict[tuple[int, PhaseKind], ModeledTime] = {}
+    phases: dict[tuple[int, PhaseKind], int] = {}
+    events: dict[tuple[int, PhaseKind], int] = {}
+    for phase in log.phases:
+        bucket = (phase.round, phase.kind)
+        if bucket not in times:
+            order.append(bucket)
+            times[bucket] = ModeledTime(0.0, 0.0)
+            phases[bucket] = 0
+            events[bucket] = 0
+        times[bucket] = times[bucket] + cost_model.phase_time(phase, threads)
+        phases[bucket] += 1
+        events[bucket] += sum(c.total_events() for c in phase.counters)
+    rows = []
+    for bucket in order:
+        round_index, kind = bucket
+        t = times[bucket]
+        rows.append(
+            (
+                round_index,
+                kind.value,
+                phases[bucket],
+                events[bucket],
+                f"{t.computation:.4f}",
+                f"{t.communication:.4f}",
+                f"{t.total:.4f}",
+            )
+        )
+    return rows
+
+
+def format_phase_breakdown(
+    log: MetricsLog, cost_model: CostModel, threads: int
+) -> str:
+    """The per-round/per-kind breakdown as a monospace table."""
+    return format_table(
+        ("round", "phase", "count", "events", "comp (s)", "comm (s)", "total (s)"),
+        phase_breakdown_rows(log, cost_model, threads),
+    )
 
 
 def speedup(baseline: RunResult, contender: RunResult) -> float:

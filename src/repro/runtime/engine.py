@@ -74,7 +74,8 @@ def par_for(
     label: str = "",
 ) -> None:
     """Run ``body`` once per active node on every host, inside one phase."""
-    with cluster.phase(kind, label=label):
+    operator = label or getattr(body, "__qualname__", getattr(body, "__name__", ""))
+    with cluster.phase(kind, label=label, operator=operator):
         for host in range(cluster.num_hosts):
             part = pgraph.parts[host]
             items = _iteration_set(part, mode)
@@ -107,10 +108,15 @@ def kimbap_while(
     """
     if isinstance(maps, NodePropMap):
         maps = [maps]
+    cluster = maps[0].cluster if maps else None
     rounds = 0
     while True:
         for prop_map in maps:
             prop_map.reset_updated()
+        if cluster is not None:
+            # Stamp every phase of this iteration with its BSP round id so
+            # traces and profiles can attribute modeled time per round.
+            cluster.advance_round()
         round_body()
         rounds += 1
         if not any(prop_map.is_updated() for prop_map in maps):

@@ -1,0 +1,27 @@
+"""Observability: modeled timelines, Chrome trace export, phase profiling.
+
+Everything here is *derived* from the event log deterministically - two runs
+of the same workload produce byte-identical traces - so traces are safe to
+diff across commits as a perf trajectory.
+"""
+
+from repro.trace.chrome import to_chrome_trace, write_chrome_trace
+from repro.trace.timeline import (
+    PhaseCost,
+    Timeline,
+    TimelineSlice,
+    build_timeline,
+    phase_costs,
+    top_phases,
+)
+
+__all__ = [
+    "PhaseCost",
+    "Timeline",
+    "TimelineSlice",
+    "build_timeline",
+    "phase_costs",
+    "to_chrome_trace",
+    "top_phases",
+    "write_chrome_trace",
+]
