@@ -18,7 +18,7 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN, ReduceOp
 from repro.graph.csr import Graph
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import par_for
+from repro.runtime.engine import NonQuiescenceError, par_for
 
 # Single-writer assignment expressed as a reduction: only ever reduce a key
 # from one site per round (e.g. a node updating its *own* cluster id).
@@ -111,7 +111,7 @@ def shortcut_until_flat(
         if not parent.is_updated():
             return rounds
         if rounds >= max_rounds:
-            raise RuntimeError("shortcut did not converge")
+            raise NonQuiescenceError(rounds, [parent.name], loop="shortcut")
 
 
 def weighted_degrees(graph: Graph) -> np.ndarray:

@@ -14,11 +14,14 @@ MIS and k-core.
 
 from __future__ import annotations
 
+import math
+
 from repro.algorithms.common import OVERWRITE, AlgorithmResult
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import SUM
 from repro.core.variants import RuntimeVariant
+from repro.faults.recovery import run_recoverable_loop
 from repro.partition.base import PartitionedGraph
 from repro.runtime.engine import par_for
 
@@ -56,10 +59,16 @@ def pagerank(
     contribution = NodePropMap(cluster, pgraph, "pr_contrib", variant=variant)
 
     base = (1.0 - damping) / num_nodes
-    rounds = 0
-    previous = {node: 1.0 / num_nodes for node in range(num_nodes)}
-    while rounds < max_rounds:
+    # Loop-private state lives in one dict so crash recovery can snapshot
+    # and restore it alongside the maps (the recoverable-loop contract).
+    state = {
+        "previous": {node: 1.0 / num_nodes for node in range(num_nodes)},
+        "delta": math.inf,
+    }
+
+    def round_body() -> None:
         contribution.reset_values(lambda node: 0.0)
+        previous = state["previous"]
 
         def push(ctx) -> None:
             local_degree = ctx.part.degree(ctx.local)
@@ -93,17 +102,34 @@ def pagerank(
         par_for(cluster, pgraph, "masters", rebuild, label="pr:rebuild")
         rank.reduce_sync()
         rank.broadcast_sync()
-        rounds += 1
 
         current = rank.snapshot()
-        delta = sum(abs(current[node] - previous[node]) for node in range(num_nodes))
-        previous = current
-        if delta < tolerance:
-            break
+        state["delta"] = sum(
+            abs(current[node] - previous[node]) for node in range(num_nodes)
+        )
+        state["previous"] = current
+
+    def restore_state(saved) -> None:
+        state.clear()
+        state.update(saved)
+
+    # PR historically attributes all loop phases to round 0 (no
+    # advance_round); keep that, while still gaining checkpoint/recovery.
+    rounds = run_recoverable_loop(
+        cluster,
+        [rank, contribution],
+        round_body,
+        converged=lambda: state["delta"] < tolerance,
+        max_rounds=max_rounds,
+        advance_rounds=False,
+        extra_snapshot=lambda: dict(state),
+        extra_restore=restore_state,
+    )
     rank.unpin_mirrors()
+    previous = state["previous"]
     return AlgorithmResult(
         name="PR",
         values=previous,
         rounds=rounds,
-        stats={"delta": delta, "mass": sum(previous.values())},
+        stats={"delta": state["delta"], "mass": sum(previous.values())},
     )

@@ -9,6 +9,8 @@ Examples::
     python -m repro compare-lv --graph road --hosts 4   # Kimbap vs Vite
     python -m repro trace BFS --graph road --hosts 4 --out trace.json
     python -m repro profile LV --graph powerlaw --hosts 4 --top 10
+    python -m repro faults BFS --graph road --hosts 4 --plan crash
+    python -m repro faults PR --graph powerlaw --plan chaos --report f.json
 """
 
 from __future__ import annotations
@@ -22,8 +24,10 @@ from repro.core.variants import RuntimeVariant
 from repro.eval.harness import KIMBAP_APPS, run_galois, run_kimbap, run_vite
 from repro.eval.reporting import format_phase_breakdown, format_table
 from repro.eval.workloads import GRAPHS, load_graph
+from repro.faults import NAMED_PLANS, named_plan
 from repro.graph.stats import compute_stats
 from repro.trace import top_phases, write_chrome_trace
+from repro.verify import VerificationError, check_equivalent_values
 
 VARIANTS_BY_LABEL = {variant.label: variant for variant in RuntimeVariant}
 
@@ -147,6 +151,76 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    variant = VARIANTS_BY_LABEL[args.variant]
+    plan = named_plan(
+        args.plan,
+        seed=args.seed,
+        hosts=args.hosts,
+        crash_round=args.crash_round,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    baseline = run_kimbap(
+        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+    )
+    faulted = run_kimbap(
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        fault_plan=plan,
+    )
+    print(_result_rows([baseline, faulted]))
+    if faulted.outcome != "ok":
+        print(f"faulted run FAILED: {faulted.outcome} ({faulted.failure})")
+        return 1
+    if baseline.values is not None and faulted.values is not None:
+        try:
+            check_equivalent_values(baseline.values, faulted.values)
+        except VerificationError as error:
+            print(f"EQUIVALENCE FAILED: {error}")
+            return 1
+        print(f"equivalence: faulted values identical to fault-free baseline "
+              f"({len(baseline.values)} nodes)")
+    overhead = (
+        100.0 * (faulted.total - baseline.total) / baseline.total
+        if baseline.total
+        else 0.0
+    )
+    report = faulted.faults or {}
+    print(
+        f"plan {plan.name!r} (seed {plan.seed}, checkpoint interval "
+        f"{plan.checkpoint_interval}): overhead {overhead:+.1f}% over fault-free"
+    )
+    print(
+        f"  drops: {report.get('messages_dropped', 0)}"
+        f"  retries: {report.get('retries', 0)}"
+        f"  duplicates: {report.get('messages_duplicated', 0)}"
+        f"  kv timeouts: {report.get('kv_timeouts', 0)}"
+    )
+    print(
+        f"  checkpoints: {report.get('checkpoints_taken', 0)} "
+        f"({report.get('checkpoint_bytes', 0)} bytes, "
+        f"{report.get('checkpoint_time', 0.0):.4f}s)"
+        f"  recoveries: {report.get('recoveries', 0)} "
+        f"({report.get('rounds_replayed', 0)} rounds replayed, "
+        f"{report.get('recovery_time', 0.0):.4f}s)"
+    )
+    for event in report.get("events", []):
+        if event.get("kind") != "checkpoint":  # checkpoints are summarized above
+            print(f"  event: {event}")
+    if args.out:
+        timeline = faulted.timeline()
+        write_chrome_trace(args.out, timeline)
+        print(f"wrote faulted-run Chrome trace to {args.out}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(faulted.to_dict(), handle, indent=1)
+        print(f"wrote faulted-run result JSON to {args.report}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Kimbap reproduction command line"
@@ -207,6 +281,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--top", type=int, default=10)
     profile.set_defaults(fn=cmd_profile)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run one application under a named fault plan and report "
+        "recovery equivalence plus overhead vs the fault-free baseline",
+    )
+    faults.add_argument("app", choices=sorted(KIMBAP_APPS))
+    common(faults)
+    faults.add_argument(
+        "--variant", choices=sorted(VARIANTS_BY_LABEL), default=RuntimeVariant.KIMBAP.label
+    )
+    faults.add_argument("--plan", choices=NAMED_PLANS, default="crash")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--crash-round", type=int, default=3, help="round of the injected crash"
+    )
+    faults.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=2,
+        help="rounds between checkpoints (0 disables checkpointing)",
+    )
+    faults.add_argument("--out", default=None, help="Chrome trace output path")
+    faults.add_argument(
+        "--report", default=None, help="write the faulted RunResult JSON here"
+    )
+    faults.set_defaults(fn=cmd_faults)
     return parser
 
 

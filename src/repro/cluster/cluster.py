@@ -31,7 +31,23 @@ def static_thread(index: int, total: int, threads: int) -> int:
 
 class SimulatedOutOfMemory(MemoryError):
     """A host's tracked property-slot footprint exceeded the cluster's
-    configured memory limit (models the paper's LD OOM cells)."""
+    configured memory limit (models the paper's LD OOM cells).
+
+    Carries structured fields so reports can name the map whose report
+    blew the budget: ``host``, ``owner`` (the reporting owner, e.g.
+    ``"npm:rank"``), ``total_slots`` (the host's footprint at the time),
+    and ``limit``.
+    """
+
+    def __init__(self, host: int, owner: str, total_slots: int, limit: int) -> None:
+        super().__init__(
+            f"host {host}: {owner!r} pushed the footprint to {total_slots} "
+            f"value slots (limit {limit})"
+        )
+        self.host = host
+        self.owner = owner
+        self.total_slots = total_slots
+        self.limit = limit
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,10 @@ class Cluster:
         self.memory_limit_slots = memory_limit_slots
         self._live_slots: dict[tuple[int, str], int] = {}
         self.peak_memory_slots = [0] * num_hosts
+        # Fault injection (repro.faults): None unless install_faults() has
+        # attached an injector; every hook call site guards on this, so the
+        # fault layer is zero-overhead when off.
+        self.faults = None
 
     # -- phase scoping -----------------------------------------------------
 
@@ -104,6 +124,8 @@ class Cluster:
         )
         self._current = record
         self.network.bind_phase(record)
+        if self.faults is not None:
+            self.faults.on_phase_start(record)
         try:
             yield record
         finally:
@@ -153,7 +175,12 @@ class Cluster:
         RSS. Exceeding ``memory_limit_slots`` aborts the run the way the
         paper's out-of-memory cells do.
         """
-        self._live_slots[(host_id, owner)] = slots
+        if slots == 0:
+            # A zero footprint is the same as no footprint: drop the entry
+            # so released/empty owners do not linger in the live table.
+            self._live_slots.pop((host_id, owner), None)
+        else:
+            self._live_slots[(host_id, owner)] = slots
         total = sum(
             amount for (host, _), amount in self._live_slots.items() if host == host_id
         )
@@ -161,8 +188,7 @@ class Cluster:
             self.peak_memory_slots[host_id] = total
         if self.memory_limit_slots is not None and total > self.memory_limit_slots:
             raise SimulatedOutOfMemory(
-                f"host {host_id} needs {total} value slots "
-                f"(limit {self.memory_limit_slots})"
+                host_id, owner, total, self.memory_limit_slots
             )
 
     def release_memory(self, owner: str) -> None:

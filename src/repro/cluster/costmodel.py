@@ -103,6 +103,13 @@ class CostModel:
             if self.weights[name] * value != 0.0
         }
 
+    def _host_units(self, phase: PhaseRecord, host: int) -> float:
+        """One host's weighted units, stretched by any straggler slowdown."""
+        units = self.units(phase.counters[host])
+        if phase.slowdown is not None:
+            units *= phase.slowdown[host]
+        return units
+
     def host_phase_time(
         self, phase: PhaseRecord, host: int, threads: int
     ) -> ModeledTime:
@@ -111,7 +118,7 @@ class CostModel:
         host. Used by the trace exporter to show per-host utilization."""
         divisor = threads if phase.parallel else 1
         compute = (
-            self.units(phase.counters[host]) / divisor
+            self._host_units(phase, host) / divisor
         ) * self.seconds_per_unit
         comm = self.alpha * max(
             phase.msgs_sent[host], phase.msgs_recv[host]
@@ -123,7 +130,10 @@ class CostModel:
     def phase_time(self, phase: PhaseRecord, threads: int) -> ModeledTime:
         divisor = threads if phase.parallel else 1
         compute = max(
-            (self.units(counters) / divisor for counters in phase.counters),
+            (
+                self._host_units(phase, host) / divisor
+                for host in range(len(phase.counters))
+            ),
             default=0.0,
         ) * self.seconds_per_unit
         max_msgs = max(

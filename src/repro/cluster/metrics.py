@@ -21,6 +21,11 @@ class PhaseKind(enum.Enum):
     BROADCAST_SYNC = "broadcast-sync"
     INIT = "init"
     SERIAL = "serial"  # e.g. Vite's single-threaded inspection phase
+    # Fault-tolerance collectives (repro.faults): snapshot serialization /
+    # restore-and-replay. Barrier collectives like the sync kinds, so their
+    # cost reports as communication ("recovery time") in the breakdowns.
+    CHECKPOINT = "checkpoint"
+    RECOVERY = "recovery"
 
     @property
     def is_sync(self) -> bool:
@@ -28,6 +33,8 @@ class PhaseKind(enum.Enum):
             PhaseKind.REQUEST_SYNC,
             PhaseKind.REDUCE_SYNC,
             PhaseKind.BROADCAST_SYNC,
+            PhaseKind.CHECKPOINT,
+            PhaseKind.RECOVERY,
         )
 
 
@@ -105,6 +112,10 @@ class PhaseRecord:
     label: str = ""
     round: int = 0
     operator: str = ""
+    # Per-host compute-time multipliers stamped by an installed fault
+    # injector (straggler modeling); None - the overwhelmingly common
+    # case - prices identically to all-ones.
+    slowdown: list[float] | None = None
 
     @classmethod
     def empty(

@@ -18,6 +18,9 @@ class Network:
     def __init__(self, num_hosts: int) -> None:
         self.num_hosts = num_hosts
         self._phase: PhaseRecord | None = None
+        # Fault injection hook (repro.faults.install_faults); None keeps
+        # the accounting below byte-identical to the fault-free model.
+        self.faults = None
 
     def bind_phase(self, phase: PhaseRecord | None) -> None:
         self._phase = phase
@@ -26,12 +29,23 @@ class Network:
         """Record one message of ``nbytes`` from ``src`` to ``dst``.
 
         Self-sends are free: data already on the host is not communicated,
-        matching the paper's per-pair message accounting.
+        matching the paper's per-pair message accounting. With a fault
+        injector installed, a drop charges the sender one full retransmit
+        per dropped attempt (the value still arrives - this is a model)
+        and a duplication charges the receiver one extra delivery.
         """
         if src == dst:
             return
         if self._phase is None:
             raise RuntimeError("network used outside of a phase")
+        if self.faults is not None:
+            drops, duplicates = self.faults.on_send(self._phase, src, dst, nbytes)
+            if drops:
+                self._phase.msgs_sent[src] += drops
+                self._phase.bytes_sent[src] += nbytes * drops
+            if duplicates:
+                self._phase.msgs_recv[dst] += duplicates
+                self._phase.bytes_recv[dst] += nbytes * duplicates
         self._phase.msgs_sent[src] += 1
         self._phase.bytes_sent[src] += nbytes
         self._phase.msgs_recv[dst] += 1

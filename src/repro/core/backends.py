@@ -14,6 +14,7 @@ nodes usually live elsewhere and must be fetched each round.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Any, Iterable
 
@@ -245,6 +246,27 @@ class GarHostStore:
             return len(self._remote_hash)
         return self._remote_keys.size
 
+    # -- checkpointing (repro.faults) ----------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Copy the full mutable state; not charged (the checkpoint phase
+        prices serialization through the cluster counters)."""
+        return {
+            "values": copy.deepcopy(self.values),
+            "remote_keys": self._remote_keys.copy(),
+            "remote_values": copy.deepcopy(self._remote_values),
+            "remote_hash": copy.deepcopy(self._remote_hash),
+            "pinned": self.pinned,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a checkpoint; copies again so it can be restored twice."""
+        self.values = copy.deepcopy(state["values"])
+        self._remote_keys = state["remote_keys"].copy()
+        self._remote_values = copy.deepcopy(state["remote_values"])
+        self._remote_hash = copy.deepcopy(state["remote_hash"])
+        self.pinned = state["pinned"]
+
     # -- pinned mirrors ----------------------------------------------------------
 
     def pin(self) -> None:
@@ -352,6 +374,20 @@ class HashHostStore:
     @property
     def remote_cache_size(self) -> int:
         return len(self.cache)
+
+    # -- checkpointing (repro.faults) ----------------------------------------
+
+    def checkpoint(self) -> dict:
+        return {
+            "owned": copy.deepcopy(self.owned),
+            "cache": copy.deepcopy(self.cache),
+            "pinned": self.pinned,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.owned = copy.deepcopy(state["owned"])
+        self.cache = copy.deepcopy(state["cache"])
+        self.pinned = state["pinned"]
 
     def pin(self) -> None:
         self.pinned = True

@@ -545,3 +545,75 @@ class NodePropMap:
 
     def pending_reductions(self) -> int:
         return sum(reduction.pending() for reduction in self.reductions)
+
+    # -------------------------------------------------- checkpointing (faults)
+
+    def _kv_prefix(self) -> str:
+        return f"npm:{self.name}:"
+
+    def checkpoint_slots(self, host: int) -> int:
+        """Value slots ``host`` serializes into a checkpoint.
+
+        Mirrors :meth:`_report_memory`'s canonical + remote-cache
+        accounting; the checkpoint phase prices one ``local_ops`` event and
+        ``KEY+value`` bytes per slot. For the key-value-store variant the
+        canonical values live on the host's server shard.
+        """
+        store = self.stores[host]
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            canonical = self.kv_client.servers[host].count_prefix(self._kv_prefix())
+        elif isinstance(store, GarHostStore):
+            canonical = store.part.num_local
+        else:
+            canonical = len(store.owned)
+        return canonical + store.remote_cache_size
+
+    def checkpoint_state(self) -> dict:
+        """Copy all mutable distributed state, for restore-and-replay.
+
+        Checkpoints are taken at round boundaries, where reductions are
+        drained (``pending_reductions() == 0``) and no phase is open, so
+        store contents plus the round-vote/activity buffers are the whole
+        state. Copying itself is not charged - the caller's checkpoint
+        phase prices serialization through the cluster counters.
+        """
+        state = {
+            "stores": [store.checkpoint() for store in self.stores],
+            "any_updated": self._any_updated,
+            "updated_masters": [set(s) for s in self._updated_masters],
+            "active": [set(s) for s in self._active],
+            "next_active": [set(s) for s in self._next_active],
+            "op": self._op,
+            "pinned": self._pinned,
+            "pin_invariant": self._pin_invariant,
+        }
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            state["kv"] = [
+                server.snapshot_prefix(self._kv_prefix())
+                for server in self.kv_client.servers
+            ]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate a checkpoint (restorable any number of times)."""
+        for store, store_state in zip(self.stores, state["stores"]):
+            store.restore(store_state)
+        self._any_updated = state["any_updated"]
+        self._updated_masters = [set(s) for s in state["updated_masters"]]
+        self._active = [set(s) for s in state["active"]]
+        self._next_active = [set(s) for s in state["next_active"]]
+        self._op = state["op"]
+        self._pinned = state["pinned"]
+        self._pin_invariant = state["pin_invariant"]
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            for server, snapshot in zip(self.kv_client.servers, state["kv"]):
+                server.restore_prefix(self._kv_prefix(), snapshot)
+        # Mid-round request state does not survive a crash: replay rebuilds
+        # the request sets from scratch.
+        for bitset in self.bitsets:
+            bitset.clear()
+        for dups in self._dup_requests:
+            dups.clear()

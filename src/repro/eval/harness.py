@@ -36,11 +36,14 @@ from repro.baselines import (
     vite_louvain,
 )
 from repro.cluster import Cluster, ModeledTime
+from repro.cluster.cluster import SimulatedOutOfMemory
 from repro.cluster.metrics import PhaseKind
 from repro.core.variants import RuntimeVariant
 from repro.eval.workloads import load_graph
+from repro.faults import FaultPlan, install_faults
 from repro.graph.csr import Graph
 from repro.partition import partition
+from repro.runtime.engine import NonQuiescenceError
 
 # The paper's partitioning choices (Section 6.1): Cartesian vertex-cut for
 # CC / MSF / MIS, edge-cut for LV / LD (Vite only supports edge-cuts).
@@ -100,6 +103,13 @@ class RunResult:
     ``counters`` are the run's summed event counters (the cost-model
     inputs); ``cluster`` keeps the simulated cluster - and with it the full
     phase log - alive so traces and profiles can be built from the result.
+
+    ``outcome`` is ``"ok"`` for a completed run, ``"oom"`` or
+    ``"non-quiescent"`` for the structured failure cells (the paper's OOM
+    table entries); ``failure`` then carries the typed details. ``faults``
+    is the injector's report when the run executed under a fault plan.
+    ``values`` keeps the algorithm's final per-node properties (when the
+    run produced them) for equivalence checking; it is never serialized.
     """
 
     system: str
@@ -115,6 +125,10 @@ class RunResult:
     counters: dict[str, int] = field(default_factory=dict)
     threads: int = THREADS_PER_HOST
     cluster: Cluster | None = field(default=None, repr=False, compare=False)
+    outcome: str = "ok"
+    failure: dict | None = None
+    faults: dict | None = None
+    values: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def total(self) -> float:
@@ -142,8 +156,13 @@ class RunResult:
         )
 
     def to_dict(self) -> dict:
-        """Machine-readable form (the ``BENCH_*.json`` schema)."""
-        return {
+        """Machine-readable form (the ``BENCH_*.json`` schema).
+
+        The ``outcome``/``failure``/``faults`` keys appear only on failed
+        or fault-injected runs, so fault-free reports stay byte-identical
+        to the pre-fault-layer schema.
+        """
+        result = {
             "schema": RESULT_SCHEMA,
             "system": self.system,
             "app": self.app,
@@ -163,6 +182,12 @@ class RunResult:
                 for kind, t in self.time_by_kind.items()
             },
         }
+        if self.outcome != "ok":
+            result["outcome"] = self.outcome
+            result["failure"] = dict(self.failure) if self.failure else None
+        if self.faults is not None:
+            result["faults"] = self.faults
+        return result
 
 
 def _finish(
@@ -187,7 +212,48 @@ def _finish(
         counters=cluster.log.total_counters().as_dict(),
         threads=cluster.threads_per_host,
         cluster=cluster,
+        values=getattr(result, "values", None),
     )
+
+
+def _failed(
+    system: str,
+    app: str,
+    graph_name: str,
+    hosts: int,
+    cluster: Cluster,
+    outcome: str,
+    failure: dict,
+    rounds: int = 0,
+) -> RunResult:
+    """A structured failed-run cell: metrics up to the failure point."""
+    return RunResult(
+        system=system,
+        app=app,
+        graph=graph_name,
+        hosts=hosts,
+        time=cluster.elapsed(),
+        rounds=rounds,
+        messages=cluster.log.total_messages(),
+        bytes=cluster.log.total_bytes(),
+        time_by_kind=cluster.elapsed_by_kind(),
+        counters=cluster.log.total_counters().as_dict(),
+        threads=cluster.threads_per_host,
+        cluster=cluster,
+        outcome=outcome,
+        failure=failure,
+    )
+
+
+def _attach_faults(result: RunResult, injector, cluster: Cluster) -> None:
+    """Stamp the injector's report - plus priced checkpoint/recovery time -
+    onto a run result."""
+    report = injector.report()
+    by_kind = cluster.elapsed_by_kind()
+    zero = ModeledTime(0.0, 0.0)
+    report["checkpoint_time"] = by_kind.get(PhaseKind.CHECKPOINT, zero).total
+    report["recovery_time"] = by_kind.get(PhaseKind.RECOVERY, zero).total
+    result.faults = report
 
 
 def run_kimbap(
@@ -197,16 +263,67 @@ def run_kimbap(
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
     threads: int = THREADS_PER_HOST,
     graph: Graph | None = None,
+    fault_plan: FaultPlan | None = None,
+    memory_limit_slots: int | None = None,
     **kwargs: Any,
 ) -> RunResult:
-    """Run a Kimbap application on the simulated cluster."""
+    """Run a Kimbap application on the simulated cluster.
+
+    With a ``fault_plan``, the run executes under deterministic fault
+    injection (``repro.faults``) and the result carries the structured
+    ``faults`` report. Failures the paper reports as table cells -
+    simulated OOM and non-quiescence - come back as a ``RunResult`` with
+    ``outcome`` set instead of raising.
+    """
     if graph is None:
         graph = load_graph(graph_name, weighted=APP_WEIGHTED.get(app, False))
     pgraph = partition(graph, hosts, APP_POLICY[app])
-    cluster = Cluster(hosts, threads_per_host=threads)
-    result = KIMBAP_APPS[app](cluster, pgraph, variant=variant, **kwargs)
+    cluster = Cluster(
+        hosts, threads_per_host=threads, memory_limit_slots=memory_limit_slots
+    )
+    injector = None
+    if fault_plan is not None:
+        injector = install_faults(cluster, fault_plan)
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
-    return _finish(label, app, graph_name, hosts, cluster, result)
+    try:
+        result = KIMBAP_APPS[app](cluster, pgraph, variant=variant, **kwargs)
+    except SimulatedOutOfMemory as oom:
+        run = _failed(
+            label,
+            app,
+            graph_name,
+            hosts,
+            cluster,
+            "oom",
+            {
+                "error": "SimulatedOutOfMemory",
+                "host": oom.host,
+                "owner": oom.owner,
+                "total_slots": oom.total_slots,
+                "limit": oom.limit,
+            },
+        )
+    except NonQuiescenceError as stuck:
+        run = _failed(
+            label,
+            app,
+            graph_name,
+            hosts,
+            cluster,
+            "non-quiescent",
+            {
+                "error": "NonQuiescenceError",
+                "loop": stuck.loop,
+                "rounds": stuck.rounds,
+                "maps": stuck.map_names,
+            },
+            rounds=stuck.rounds,
+        )
+    else:
+        run = _finish(label, app, graph_name, hosts, cluster, result)
+    if injector is not None:
+        _attach_faults(run, injector, cluster)
+    return run
 
 
 def run_vite(

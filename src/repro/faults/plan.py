@@ -1,0 +1,229 @@
+"""Fault plans: the declarative, fully deterministic failure schedule.
+
+A :class:`FaultPlan` describes everything that will go wrong during a run:
+host crashes pinned to a BSP round, transient message drop/duplication
+rates over a round window, straggler (slow-host) multipliers, and
+transient key-value-store timeouts. Given the same plan, the same seed and
+the same workload, the injected faults - and therefore the full metrics
+log and the exported trace - are byte-identical across runs; all
+randomness routes through :mod:`repro.faults.rng`.
+
+Plans are *models*: the simulation never loses data (it is in-process),
+so a "dropped" message is charged as a retransmission, a "crash" triggers
+restore-and-replay from the last checkpoint, and a straggler stretches
+the host's modeled compute time. The point is to price the recovery
+machinery and surface it in traces, the way Distributed GraphLab prices
+snapshot-based recovery at iteration granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be in [0, 1); got {value}")
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Host ``host`` fails when the recoverable loop enters round ``round``.
+
+    Recovery rolls every registered map back to the last checkpoint and
+    replays; a crash at a round the workload never reaches simply does not
+    fire (it is reported as pending in the run's faults section).
+    """
+
+    host: int
+    round: int
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ValueError("crash host must be >= 0")
+        if self.round < 1:
+            raise ValueError("crash round must be >= 1 (rounds count from 1)")
+
+
+@dataclass(frozen=True)
+class MessageFlake:
+    """Transient message loss/duplication over a window of rounds.
+
+    Each logical message is independently dropped with ``drop_rate`` (and
+    retransmitted: the sender is charged one full resend per drop, up to
+    ``max_retries`` before the transport is modeled as getting through)
+    and duplicated with ``duplicate_rate`` (the receiver is charged one
+    extra delivery). Values always arrive - only modeled cost changes.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    first_round: int = 0
+    last_round: int | None = None
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def covers(self, round: int) -> bool:
+        return round >= self.first_round and (
+            self.last_round is None or round <= self.last_round
+        )
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Host ``host`` runs ``multiplier``x slower over a window of rounds.
+
+    Applied as a per-host multiplier on modeled compute units inside every
+    phase of the window - the BSP barrier then stretches the whole phase,
+    which is exactly how a slow host hurts a synchronous system.
+    """
+
+    host: int
+    multiplier: float = 2.0
+    first_round: int = 0
+    last_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ValueError("straggler host must be >= 0")
+        if self.multiplier <= 0:
+            raise ValueError("straggler multiplier must be positive")
+
+    def covers(self, round: int) -> bool:
+        return round >= self.first_round and (
+            self.last_round is None or round <= self.last_round
+        )
+
+
+@dataclass(frozen=True)
+class KvTimeouts:
+    """Transient key-value-store request timeouts (MC variant).
+
+    Each client request independently times out with ``rate``; every
+    timeout is retried (one extra request message per retry, capped at
+    ``max_retries``), modeling memcached's client-side retry loop.
+    """
+
+    rate: float = 0.0
+    first_round: int = 0
+    last_round: int | None = None
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        _check_rate("rate", self.rate)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def covers(self, round: int) -> bool:
+        return round >= self.first_round and (
+            self.last_round is None or round <= self.last_round
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named, seeded failure schedule for a run.
+
+    ``checkpoint_interval`` is the number of completed loop rounds between
+    checkpoints (0 disables periodic checkpoints). Whenever the plan can
+    crash a host - or the interval is positive - an entry checkpoint is
+    taken as a recoverable loop starts, so every crash remains
+    recoverable; crash-free plans with interval 0 skip checkpointing
+    entirely.
+    """
+
+    name: str = "plan"
+    seed: int = 0
+    checkpoint_interval: int = 2
+    crashes: tuple[HostCrash, ...] = ()
+    flake: MessageFlake | None = None
+    stragglers: tuple[Straggler, ...] = ()
+    kv_timeouts: KvTimeouts | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        seen: set[int] = set()
+        for crash in self.crashes:
+            if crash.round in seen:
+                raise ValueError(
+                    f"two crashes scheduled for round {crash.round}; "
+                    "one crash per round keeps recovery attributable"
+                )
+            seen.add(crash.round)
+
+    def describe(self) -> dict:
+        """JSON-ready form (the ``faults.plan`` section of run reports)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "checkpoint_interval": self.checkpoint_interval,
+            "crashes": [asdict(crash) for crash in self.crashes],
+            "flake": asdict(self.flake) if self.flake else None,
+            "stragglers": [asdict(straggler) for straggler in self.stragglers],
+            "kv_timeouts": asdict(self.kv_timeouts) if self.kv_timeouts else None,
+        }
+
+
+def named_plan(
+    name: str,
+    *,
+    seed: int = 0,
+    hosts: int = 4,
+    crash_round: int = 3,
+    checkpoint_interval: int = 2,
+) -> FaultPlan:
+    """Build one of the preset plans used by ``repro faults`` and CI.
+
+    ``hosts`` bounds the victim host ids so presets stay valid on any
+    cluster size.
+    """
+    victim = 1 % max(hosts, 1)
+    slow = 0
+    if name == "crash":
+        return FaultPlan(
+            name="crash",
+            seed=seed,
+            checkpoint_interval=checkpoint_interval,
+            crashes=(HostCrash(host=victim, round=crash_round),),
+        )
+    if name == "flaky-net":
+        return FaultPlan(
+            name="flaky-net",
+            seed=seed,
+            checkpoint_interval=0,
+            flake=MessageFlake(drop_rate=0.05, duplicate_rate=0.02),
+        )
+    if name == "straggler":
+        return FaultPlan(
+            name="straggler",
+            seed=seed,
+            checkpoint_interval=0,
+            stragglers=(Straggler(host=slow, multiplier=3.0),),
+        )
+    if name == "kv-lag":
+        return FaultPlan(
+            name="kv-lag",
+            seed=seed,
+            checkpoint_interval=0,
+            kv_timeouts=KvTimeouts(rate=0.1),
+        )
+    if name == "chaos":
+        return FaultPlan(
+            name="chaos",
+            seed=seed,
+            checkpoint_interval=checkpoint_interval,
+            crashes=(HostCrash(host=victim, round=crash_round),),
+            flake=MessageFlake(drop_rate=0.03, duplicate_rate=0.01),
+            stragglers=(Straggler(host=slow, multiplier=1.5),),
+            kv_timeouts=KvTimeouts(rate=0.05),
+        )
+    raise ValueError(f"unknown fault plan {name!r}; have {sorted(NAMED_PLANS)}")
+
+
+NAMED_PLANS = ("chaos", "crash", "flaky-net", "kv-lag", "straggler")

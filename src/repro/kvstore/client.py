@@ -41,12 +41,25 @@ class KvClient:
     def _charge_key_op(self, host: int, count: int = 1) -> None:
         self.cluster.counters(host).kv_string_ops += count
 
+    def _request(self, host: int, server: int, nbytes: int) -> None:
+        """Issue one request message, preceded by any injected timeouts.
+
+        With a fault injector installed, each transient timeout costs one
+        extra request message (the client-side retry loop re-sends after
+        its timeout expires); without one this is a single plain send.
+        """
+        faults = self.cluster.faults
+        if faults is not None:
+            for _ in range(faults.kv_retries(host, server)):
+                self.cluster.network.send(host, server, nbytes)
+        self.cluster.network.send(host, server, nbytes)
+
     # -- operations, all issued from a given host ---------------------------
 
     def get(self, host: int, key: str) -> tuple[Any, int] | None:
         server = self.server_of(key)
         self._charge_key_op(host)
-        self.cluster.network.send(host, server, self._key_bytes(key))
+        self._request(host, server, self._key_bytes(key))
         result = self.servers[server].get(key)
         self.cluster.network.send(server, host, VALUE_BYTES)
         return result
@@ -61,7 +74,7 @@ class KvClient:
             for start in range(0, len(server_keys), MGET_CHUNK):
                 chunk = server_keys[start : start + MGET_CHUNK]
                 self._charge_key_op(host, len(chunk))
-                self.cluster.network.send(
+                self._request(
                     host, server, sum(self._key_bytes(k) for k in chunk)
                 )
                 response = self.servers[server].mget(chunk)
@@ -72,7 +85,7 @@ class KvClient:
     def set(self, host: int, key: str, value: Any) -> int:
         server = self.server_of(key)
         self._charge_key_op(host)
-        self.cluster.network.send(host, server, self._key_bytes(key) + VALUE_BYTES)
+        self._request(host, server, self._key_bytes(key) + VALUE_BYTES)
         version = self.servers[server].set(key, value)
         self.cluster.network.send(server, host, 8)
         return version
@@ -80,7 +93,7 @@ class KvClient:
     def add(self, host: int, key: str, value: Any) -> bool:
         server = self.server_of(key)
         self._charge_key_op(host)
-        self.cluster.network.send(host, server, self._key_bytes(key) + VALUE_BYTES)
+        self._request(host, server, self._key_bytes(key) + VALUE_BYTES)
         stored = self.servers[server].add(key, value)
         self.cluster.network.send(server, host, 8)
         return stored
@@ -88,7 +101,7 @@ class KvClient:
     def cas(self, host: int, key: str, value: Any, version: int) -> CasResult:
         server = self.server_of(key)
         self._charge_key_op(host)
-        self.cluster.network.send(host, server, self._key_bytes(key) + VALUE_BYTES)
+        self._request(host, server, self._key_bytes(key) + VALUE_BYTES)
         result = self.servers[server].cas(key, value, version)
         self.cluster.network.send(server, host, 8)
         return result

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass, field
 from typing import Any
@@ -73,6 +74,30 @@ class KvServer:
 
     def delete(self, key: str) -> bool:
         return self._data.pop(key, None) is not None
+
+    # -- checkpointing (repro.faults) ---------------------------------------
+
+    def count_prefix(self, prefix: str) -> int:
+        """How many live keys belong to ``prefix`` (one map's shard size)."""
+        return sum(1 for key in self._data if key.startswith(prefix))
+
+    def snapshot_prefix(self, prefix: str) -> dict[str, tuple[Any, int]]:
+        """Copy every (value, version) under ``prefix``; not charged (the
+        checkpoint phase prices serialization via the cluster counters)."""
+        return {
+            key: (copy.deepcopy(entry.value), entry.version)
+            for key, entry in self._data.items()
+            if key.startswith(prefix)
+        }
+
+    def restore_prefix(
+        self, prefix: str, snapshot: dict[str, tuple[Any, int]]
+    ) -> None:
+        """Drop every key under ``prefix`` and reinstate the snapshot."""
+        for key in [k for k in self._data if k.startswith(prefix)]:
+            del self._data[key]
+        for key, (value, version) in snapshot.items():
+            self._data[key] = _Entry(copy.deepcopy(value), version)
 
     def flush(self) -> None:
         self._data.clear()

@@ -24,6 +24,25 @@ from repro.partition.base import LocalPartition, PartitionedGraph
 ITERATION_MODES = ("masters", "all")
 
 
+class NonQuiescenceError(RuntimeError):
+    """A quiescence loop hit its round cap without converging.
+
+    Subclasses ``RuntimeError`` for backward compatibility; carries the
+    rounds executed and the names of the maps that kept updating so
+    ``eval.harness`` can record the failure as a structured run outcome
+    (like the paper's OOM cells) instead of crashing.
+    """
+
+    def __init__(self, rounds: int, map_names: Sequence[str], loop: str = "KimbapWhile") -> None:
+        names = ", ".join(map_names) or "<none>"
+        super().__init__(
+            f"{loop} did not quiesce in {rounds} rounds (maps: {names})"
+        )
+        self.rounds = rounds
+        self.map_names = list(map_names)
+        self.loop = loop
+
+
 @dataclass
 class OperatorContext:
     """Everything an operator body may touch for one active node."""
@@ -105,10 +124,30 @@ def kimbap_while(
 
     ``round_body`` is one full BSP round: compute phases plus the sync
     collectives (which is where the maps' updated flags get set).
+
+    With a fault injector installed on the cluster (``repro.faults``), the
+    loop runs under the recoverable driver: it checkpoints the maps every
+    ``checkpoint_interval`` rounds and, on an injected host crash, restores
+    the last checkpoint and replays to an identical fixed point.
     """
     if isinstance(maps, NodePropMap):
         maps = [maps]
     cluster = maps[0].cluster if maps else None
+    if cluster is not None and cluster.faults is not None:
+        from repro.faults.recovery import run_recoverable_loop
+
+        return run_recoverable_loop(
+            cluster,
+            maps,
+            round_body,
+            before_round=lambda: [m.reset_updated() for m in maps],
+            converged=lambda: not any(m.is_updated() for m in maps),
+            max_rounds=max_rounds,
+            advance_rounds=True,
+            on_max_rounds=lambda rounds: NonQuiescenceError(
+                rounds, [m.name for m in maps]
+            ),
+        )
     rounds = 0
     while True:
         for prop_map in maps:
@@ -122,4 +161,4 @@ def kimbap_while(
         if not any(prop_map.is_updated() for prop_map in maps):
             return rounds
         if rounds >= max_rounds:
-            raise RuntimeError(f"KimbapWhile did not quiesce in {max_rounds} rounds")
+            raise NonQuiescenceError(max_rounds, [m.name for m in maps])

@@ -24,6 +24,44 @@ def _undirected(graph: Graph):
     return graph.to_networkx().to_undirected()
 
 
+# --------------------------------------------------- run equivalence
+
+
+def check_equivalent_values(
+    expected: Mapping[int, Any],
+    actual: Mapping[int, Any],
+    tolerance: float = 0.0,
+) -> None:
+    """Two runs' per-node values must agree (recovery equivalence).
+
+    Used by the fault-injection harness to certify that a crashed-and-
+    recovered run converged to the same fixed point as the fault-free
+    baseline. Numeric values may differ by up to ``tolerance`` (absolute);
+    everything else must compare equal.
+    """
+    if set(expected) != set(actual):
+        only_expected = sorted(set(expected) - set(actual))[:5]
+        only_actual = sorted(set(actual) - set(expected))[:5]
+        raise VerificationError(
+            f"value key sets differ: only-expected {only_expected}, "
+            f"only-actual {only_actual}"
+        )
+    for node in expected:
+        want, got = expected[node], actual[node]
+        if (
+            tolerance > 0
+            and isinstance(want, (int, float))
+            and isinstance(got, (int, float))
+        ):
+            if abs(float(want) - float(got)) > tolerance:
+                raise VerificationError(
+                    f"node {node}: {got!r} differs from {want!r} "
+                    f"by more than {tolerance}"
+                )
+        elif want != got:
+            raise VerificationError(f"node {node}: {got!r} != expected {want!r}")
+
+
 # ---------------------------------------------------------- components
 
 
