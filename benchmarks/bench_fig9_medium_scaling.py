@@ -59,7 +59,7 @@ def test_fig9c_cc(benchmark, graph, hosts, figure_report):
     def run_all():
         return {
             "Gluon-LP": run_gluon(graph, hosts),
-            "Kimbap-LP": run_kimbap("CC-LP", graph, hosts),
+            "Kimbap-LP": run_kimbap("CC-LP", graph, hosts, bulk=True),
             "Kimbap-SCLP": run_kimbap("CC-SCLP", graph, hosts),
             "Kimbap-SV": run_kimbap("CC-SV", graph, hosts),
         }

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Wall-clock speedup of the bulk execution path over the scalar reference.
+
+Standalone script (no pytest dependency - CI's smoke job runs it directly):
+for each app cell it runs the scalar and the bulk path on the same workload,
+times both with ``time.perf_counter``, and **asserts the byte-identical
+equivalence contract** - ``RunResult.to_dict()`` (counters, conflict counts,
+modeled seconds, traces) and the final property values must match exactly.
+Any divergence exits non-zero, so the CI smoke job doubles as the
+equivalence gate.
+
+Outputs ``benchmarks/reports/bench_wallclock_speedup.{json,txt}`` in the
+standard ``repro-bench-report/v1`` schema. Environment knobs match the
+pytest benchmarks: ``REPRO_BENCH_FAST=1`` shrinks the sweep to the
+equivalence-critical cells, ``REPRO_BENCH_SCALE`` rescales the graphs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.eval.harness import run_kimbap  # noqa: E402
+from repro.eval.workloads import load_graph  # noqa: E402
+
+REPORT_SCHEMA = "repro-bench-report/v1"
+TITLE = "Bulk vs scalar execution path: wall-clock speedup (byte-identical metrics)"
+HEADERS = (
+    "app",
+    "graph",
+    "hosts",
+    "scalar(s)",
+    "bulk(s)",
+    "speedup",
+    "modeled(s)",
+    "identical",
+)
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def cells() -> list[tuple[str, str, int]]:
+    # The headline cell is PR on the Fig-9 power-law medium graph at 4
+    # hosts; SSSP and CC-LP ride along as the other two ported apps.
+    sweep = [
+        ("PR", "powerlaw", 4),
+        ("SSSP", "powerlaw", 4),
+        ("CC-LP", "powerlaw", 4),
+    ]
+    if not fast_mode():
+        sweep += [
+            ("PR", "road", 4),
+            ("CC-LP", "road", 4),
+            ("PR", "powerlaw", 16),
+        ]
+    return sweep
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def run_cell(app: str, graph_name: str, hosts: int) -> dict:
+    graph = load_graph(graph_name, weighted=(app == "SSSP"))
+    start = time.perf_counter()
+    scalar = run_kimbap(app, graph_name, hosts, graph=graph, bulk=False)
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    bulk = run_kimbap(app, graph_name, hosts, graph=graph, bulk=True)
+    bulk_s = time.perf_counter() - start
+    identical = canonical(scalar) == canonical(bulk) and scalar.values == bulk.values
+    return {
+        "app": app,
+        "graph": graph_name,
+        "hosts": hosts,
+        "scalar_wallclock_s": scalar_s,
+        "bulk_wallclock_s": bulk_s,
+        "speedup": scalar_s / bulk_s if bulk_s > 0 else float("inf"),
+        "modeled_total_s": bulk.total,
+        "identical": identical,
+    }
+
+
+def main() -> int:
+    rows = [run_cell(*cell) for cell in cells()]
+
+    from repro.eval.reporting import format_table
+
+    printable = [
+        (
+            r["app"],
+            r["graph"],
+            r["hosts"],
+            f"{r['scalar_wallclock_s']:.3f}",
+            f"{r['bulk_wallclock_s']:.3f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['modeled_total_s']:.4f}",
+            "yes" if r["identical"] else "DIVERGED",
+        )
+        for r in rows
+    ]
+    text = f"\n\n===== {TITLE} =====\n" + format_table(HEADERS, printable) + "\n"
+    print(text)
+
+    reports_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "reports")
+    os.makedirs(reports_dir, exist_ok=True)
+    with open(os.path.join(reports_dir, "bench_wallclock_speedup.txt"), "w") as handle:
+        handle.write(text)
+    report = {
+        "schema": REPORT_SCHEMA,
+        "module": "bench_wallclock_speedup",
+        "title": TITLE,
+        "headers": list(HEADERS),
+        "results": [],
+        "rows": [list(row) for row in printable],
+        "cells": rows,
+        "fast_mode": fast_mode(),
+    }
+    with open(os.path.join(reports_dir, "bench_wallclock_speedup.json"), "w") as handle:
+        json.dump(report, handle, indent=1)
+
+    diverged = [r for r in rows if not r["identical"]]
+    if diverged:
+        for r in diverged:
+            print(
+                f"EQUIVALENCE FAILURE: {r['app']} on {r['graph']} @ {r['hosts']} "
+                "hosts - bulk RunResult.to_dict() diverged from scalar",
+                file=sys.stderr,
+            )
+        return 1
+    headline = rows[0]
+    print(
+        f"headline: {headline['app']} {headline['graph']}@{headline['hosts']} "
+        f"speedup {headline['speedup']:.1f}x (scalar {headline['scalar_wallclock_s']:.3f}s, "
+        f"bulk {headline['bulk_wallclock_s']:.3f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,23 +13,29 @@ networks (the motivation for CC-SV / CC-SCLP).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.common import AlgorithmResult
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
+from repro.runtime.engine import kimbap_while, par_for, par_for_bulk
 
 
 def cc_lp(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    bulk: bool = False,
 ) -> AlgorithmResult:
     """Run label-propagation connected components; values are component ids."""
     label = NodePropMap(cluster, pgraph, "cc_label", variant=variant)
-    label.set_initial(lambda node: node)
+    if bulk:
+        label.set_initial_bulk(lambda nodes: nodes.copy())
+    else:
+        label.set_initial(lambda node: node)
     label.pin_mirrors(invariant="push")
 
     def round_body() -> None:
@@ -53,6 +59,32 @@ def cc_lp(
         label.reduce_sync()
         label.broadcast_sync()
 
-    rounds = kimbap_while(label, round_body)
+    def round_body_bulk() -> None:
+        def operator(ctx) -> None:
+            degs = ctx.degrees()
+            sel = np.flatnonzero(degs > 0)
+            if sel.size == 0:
+                return
+            ctx.charge(int(sel.size))
+            sel = sel[label.is_active_bulk(ctx.host, ctx.node_ids[sel])]
+            if sel.size == 0:
+                return
+            labels = label.read_local_bulk(ctx.host, ctx.local_ids[sel])
+            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
+            if edge_ids.size == 0:
+                return
+            label.reduce_bulk(
+                ctx.host,
+                ctx.threads[sel][source_pos],
+                ctx.edge_dst(edge_ids),
+                labels[source_pos],
+                MIN,
+            )
+
+        par_for_bulk(cluster, pgraph, "all", operator, label="cc_lp")
+        label.reduce_sync()
+        label.broadcast_sync()
+
+    rounds = kimbap_while(label, round_body_bulk if bulk else round_body)
     label.unpin_mirrors()
     return AlgorithmResult(name="CC-LP", values=label.snapshot(), rounds=rounds)

@@ -10,11 +10,18 @@ the tests check against networkx.
 Under vertex cuts a node's out-degree spans hosts, so the global degrees
 are themselves computed by a SUM reduction first - the same warm-up as
 MIS and k-core.
+
+``bulk=True`` runs the vectorized execution path (``par_for_bulk`` +
+``reduce_bulk``): the same operators expressed over whole iteration-set
+arrays, with byte-identical counters, modeled time, and rank values (the
+scalar path stays as the reference implementation and equivalence oracle).
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.algorithms.common import OVERWRITE, AlgorithmResult
 from repro.cluster.cluster import Cluster
@@ -23,7 +30,7 @@ from repro.core.reducers import SUM
 from repro.core.variants import RuntimeVariant
 from repro.faults.recovery import run_recoverable_loop
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import par_for
+from repro.runtime.engine import par_for, par_for_bulk
 
 
 def pagerank(
@@ -33,6 +40,7 @@ def pagerank(
     tolerance: float = 1e-9,
     max_rounds: int = 100,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    bulk: bool = False,
 ) -> AlgorithmResult:
     """Compute PageRank; values sum to 1 over all nodes."""
     if not 0 < damping < 1:
@@ -42,27 +50,50 @@ def pagerank(
         return AlgorithmResult(name="PR", values={}, rounds=0)
 
     degree = NodePropMap(cluster, pgraph, "pr_degree", variant=variant)
-    degree.set_initial(lambda node: 0)
+    if bulk:
+        degree.set_initial_bulk(lambda nodes: np.zeros(nodes.size, dtype=np.int64))
 
-    def degree_operator(ctx) -> None:
-        local_degree = ctx.part.degree(ctx.local)
-        if local_degree:
-            degree.reduce(ctx.host, ctx.thread, ctx.node, local_degree, SUM)
+        def degree_operator_bulk(ctx) -> None:
+            degs = ctx.degrees()
+            sel = np.flatnonzero(degs > 0)
+            if sel.size:
+                degree.reduce_bulk(
+                    ctx.host, ctx.threads[sel], ctx.node_ids[sel], degs[sel], SUM
+                )
 
-    par_for(cluster, pgraph, "all", degree_operator, label="pr:deg")
+        par_for_bulk(cluster, pgraph, "all", degree_operator_bulk, label="pr:deg")
+    else:
+        degree.set_initial(lambda node: 0)
+
+        def degree_operator(ctx) -> None:
+            local_degree = ctx.part.degree(ctx.local)
+            if local_degree:
+                degree.reduce(ctx.host, ctx.thread, ctx.node, local_degree, SUM)
+
+        par_for(cluster, pgraph, "all", degree_operator, label="pr:deg")
     degree.reduce_sync()
-    degrees = degree.snapshot()
+    if bulk:
+        degrees_arr = degree.snapshot_array()
+    else:
+        degrees = degree.snapshot()
 
     rank = NodePropMap(cluster, pgraph, "pr_rank", variant=variant)
-    rank.set_initial(lambda node: 1.0 / num_nodes)
+    if bulk:
+        rank.set_initial_bulk(lambda nodes: np.full(nodes.size, 1.0 / num_nodes))
+    else:
+        rank.set_initial(lambda node: 1.0 / num_nodes)
     rank.pin_mirrors(invariant="none")
     contribution = NodePropMap(cluster, pgraph, "pr_contrib", variant=variant)
 
     base = (1.0 - damping) / num_nodes
     # Loop-private state lives in one dict so crash recovery can snapshot
     # and restore it alongside the maps (the recoverable-loop contract).
-    state = {
-        "previous": {node: 1.0 / num_nodes for node in range(num_nodes)},
+    state: dict = {
+        "previous": (
+            np.full(num_nodes, 1.0 / num_nodes)
+            if bulk
+            else {node: 1.0 / num_nodes for node in range(num_nodes)}
+        ),
         "delta": math.inf,
     }
 
@@ -109,6 +140,49 @@ def pagerank(
         )
         state["previous"] = current
 
+    def round_body_bulk() -> None:
+        contribution.reset_values_bulk(lambda nodes: np.zeros(nodes.size))
+        previous = state["previous"]
+
+        def push(ctx) -> None:
+            degs = ctx.degrees()
+            sel = np.flatnonzero(degs > 0)
+            if sel.size == 0:
+                return
+            ranks = rank.read_local_bulk(ctx.host, ctx.local_ids[sel])
+            shares = damping * ranks / degrees_arr[ctx.node_ids[sel]]
+            ctx.charge(int(2 * sel.size))
+            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
+            if edge_ids.size:
+                contribution.reduce_bulk(
+                    ctx.host,
+                    ctx.threads[sel][source_pos],
+                    ctx.edge_dst(edge_ids),
+                    shares[source_pos],
+                    SUM,
+                )
+
+        par_for_bulk(cluster, pgraph, "all", push, label="pr:push")
+        contribution.reduce_sync()
+
+        dangling = sum(previous[degrees_arr == 0].tolist())
+        uniform = base + damping * dangling / num_nodes
+
+        contributions = contribution.snapshot_array()
+
+        def rebuild(ctx) -> None:
+            new_ranks = uniform + contributions[ctx.node_ids]
+            ctx.charge(int(2 * ctx.node_ids.size))
+            rank.reduce_bulk(ctx.host, ctx.threads, ctx.node_ids, new_ranks, OVERWRITE)
+
+        par_for_bulk(cluster, pgraph, "masters", rebuild, label="pr:rebuild")
+        rank.reduce_sync()
+        rank.broadcast_sync()
+
+        current = rank.snapshot_array()
+        state["delta"] = sum(np.abs(current - previous).tolist())
+        state["previous"] = current
+
     def restore_state(saved) -> None:
         state.clear()
         state.update(saved)
@@ -118,7 +192,7 @@ def pagerank(
     rounds = run_recoverable_loop(
         cluster,
         [rank, contribution],
-        round_body,
+        round_body_bulk if bulk else round_body,
         converged=lambda: state["delta"] < tolerance,
         max_rounds=max_rounds,
         advance_rounds=False,
@@ -126,7 +200,18 @@ def pagerank(
         extra_restore=restore_state,
     )
     rank.unpin_mirrors()
-    previous = state["previous"]
+    if bulk:
+        # The snapshot dict (same content and iteration order as the scalar
+        # path's final in-loop snapshot) is the returned value mapping.
+        if rounds:
+            previous = rank.snapshot()
+        else:
+            previous = {
+                node: value
+                for node, value in enumerate(state["previous"].tolist())
+            }
+    else:
+        previous = state["previous"]
     return AlgorithmResult(
         name="PR",
         values=previous,

@@ -13,13 +13,15 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.algorithms.common import AlgorithmResult
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
+from repro.runtime.engine import kimbap_while, par_for, par_for_bulk
 
 UNREACHED = math.inf
 
@@ -30,12 +32,16 @@ def sssp(
     source: int = 0,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
     unit_weights: bool = False,
+    bulk: bool = False,
 ) -> AlgorithmResult:
     """Single-source shortest paths; values are distances (inf = unreached)."""
     if not 0 <= source < pgraph.num_nodes:
         raise ValueError(f"source {source} out of range")
     dist = NodePropMap(cluster, pgraph, "sssp_dist", variant=variant)
-    dist.set_initial(lambda node: 0.0 if node == source else UNREACHED)
+    if bulk:
+        dist.set_initial_bulk(lambda nodes: np.where(nodes == source, 0.0, UNREACHED))
+    else:
+        dist.set_initial(lambda node: 0.0 if node == source else UNREACHED)
     dist.pin_mirrors(invariant="none")
 
     def round_body() -> None:
@@ -58,7 +64,43 @@ def sssp(
         dist.reduce_sync()
         dist.broadcast_sync()
 
-    rounds = kimbap_while(dist, round_body)
+    def round_body_bulk() -> None:
+        def relax(ctx) -> None:
+            degs = ctx.degrees()
+            sel = np.flatnonzero(degs > 0)
+            if sel.size == 0:
+                return
+            ctx.charge(int(sel.size))
+            sel = sel[dist.is_active_bulk(ctx.host, ctx.node_ids[sel])]
+            if sel.size == 0:
+                return
+            dists = dist.read_local_bulk(ctx.host, ctx.local_ids[sel])
+            reachable = dists != UNREACHED
+            sel = sel[reachable]
+            dists = dists[reachable]
+            if sel.size == 0:
+                return
+            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
+            if edge_ids.size == 0:
+                return
+            weights = (
+                np.ones(edge_ids.size, dtype=np.float64)
+                if unit_weights
+                else ctx.edge_weights(edge_ids)
+            )
+            dist.reduce_bulk(
+                ctx.host,
+                ctx.threads[sel][source_pos],
+                ctx.edge_dst(edge_ids),
+                dists[source_pos] + weights,
+                MIN,
+            )
+
+        par_for_bulk(cluster, pgraph, "all", relax, label="sssp")
+        dist.reduce_sync()
+        dist.broadcast_sync()
+
+    rounds = kimbap_while(dist, round_body_bulk if bulk else round_body)
     dist.unpin_mirrors()
     values = dist.snapshot()
     reached = sum(1 for v in values.values() if v != UNREACHED)
@@ -75,9 +117,12 @@ def bfs(
     pgraph: PartitionedGraph,
     source: int = 0,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    bulk: bool = False,
 ) -> AlgorithmResult:
     """BFS levels from ``source``: unit-weight SSSP with integer levels."""
-    result = sssp(cluster, pgraph, source=source, variant=variant, unit_weights=True)
+    result = sssp(
+        cluster, pgraph, source=source, variant=variant, unit_weights=True, bulk=bulk
+    )
     levels = {
         node: (int(value) if value != UNREACHED else UNREACHED)
         for node, value in result.values.items()

@@ -15,6 +15,8 @@ import contextlib
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.cluster.costmodel import CostModel, ModeledTime
 from repro.cluster.metrics import Counters, MetricsLog, PhaseKind, PhaseRecord
 from repro.cluster.network import Network
@@ -89,6 +91,9 @@ class Cluster:
         # raises SimulatedOutOfMemory like the paper's LD OOM cells.
         self.memory_limit_slots = memory_limit_slots
         self._live_slots: dict[tuple[int, str], int] = {}
+        # Per-host running totals of _live_slots, maintained on every report
+        # so track_memory is O(1) instead of summing the live table.
+        self._host_slot_totals = [0] * num_hosts
         self.peak_memory_slots = [0] * num_hosts
         # Fault injection (repro.faults): None unless install_faults() has
         # attached an injector; every hook call site guards on this, so the
@@ -165,6 +170,25 @@ class Cluster:
     def thread_of(self, index: int, total: int) -> int:
         return static_thread(index, total, self.threads_per_host)
 
+    def thread_boundaries(self, total: int) -> np.ndarray:
+        """Closed-form OpenMP-static chunk bounds over ``total`` items.
+
+        Item ``i`` is dealt to thread ``t`` iff ``bounds[t] <= i <
+        bounds[t + 1]``; agrees with :func:`static_thread` for every index
+        (the bulk execution path derives per-thread segments from these
+        bounds instead of calling the dealing function per item).
+        """
+        threads = self.threads_per_host
+        t = np.arange(threads + 1, dtype=np.int64)
+        return np.minimum((t * total + threads - 1) // threads, total)
+
+    def threads_of(self, total: int) -> np.ndarray:
+        """Vectorized :func:`static_thread`: the thread id of every item."""
+        bounds = self.thread_boundaries(total)
+        return np.repeat(
+            np.arange(self.threads_per_host, dtype=np.int64), np.diff(bounds)
+        )
+
     # -- memory accounting ---------------------------------------------------
 
     def track_memory(self, host_id: int, owner: str, slots: int) -> None:
@@ -175,15 +199,15 @@ class Cluster:
         RSS. Exceeding ``memory_limit_slots`` aborts the run the way the
         paper's out-of-memory cells do.
         """
+        previous = self._live_slots.get((host_id, owner), 0)
         if slots == 0:
             # A zero footprint is the same as no footprint: drop the entry
             # so released/empty owners do not linger in the live table.
             self._live_slots.pop((host_id, owner), None)
         else:
             self._live_slots[(host_id, owner)] = slots
-        total = sum(
-            amount for (host, _), amount in self._live_slots.items() if host == host_id
-        )
+        self._host_slot_totals[host_id] += slots - previous
+        total = self._host_slot_totals[host_id]
         if total > self.peak_memory_slots[host_id]:
             self.peak_memory_slots[host_id] = total
         if self.memory_limit_slots is not None and total > self.memory_limit_slots:
@@ -194,6 +218,7 @@ class Cluster:
     def release_memory(self, owner: str) -> None:
         """Drop an owner's footprint on every host (e.g. a map going away)."""
         for key in [k for k in self._live_slots if k[1] == owner]:
+            self._host_slot_totals[key[0]] -= self._live_slots[key]
             del self._live_slots[key]
 
     def max_memory_slots(self) -> int:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.metrics import (
+    COUNTER_FIELDS,
     STATISTIC_FIELDS,
     Counters,
     MetricsLog,
@@ -92,7 +93,10 @@ class CostModel:
     weights: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
 
     def units(self, counters: Counters) -> float:
-        return sum(self.weights[name] * value for name, value in counters.as_dict().items())
+        weights = self.weights
+        return sum(
+            weights[name] * getattr(counters, name) for name in COUNTER_FIELDS
+        )
 
     def units_breakdown(self, counters: Counters) -> dict[str, float]:
         """Weighted units contributed by each counter kind (zero entries

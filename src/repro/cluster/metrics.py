@@ -77,19 +77,22 @@ class Counters:
     kv_string_ops: int = 0
 
     def add(self, other: "Counters") -> None:
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def total_events(self) -> int:
         """Priced events only: statistics mirrors would double-count reads."""
         return sum(
-            getattr(self, f.name)
-            for f in fields(self)
-            if f.name not in STATISTIC_FIELDS
+            getattr(self, name)
+            for name in COUNTER_FIELDS
+            if name not in STATISTIC_FIELDS
         )
 
     def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+
+COUNTER_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(Counters))
 
 
 @dataclass

@@ -51,6 +51,27 @@ class Network:
         self._phase.msgs_recv[dst] += 1
         self._phase.bytes_recv[dst] += nbytes
 
+    def send_many(self, src: int, dst: int, nbytes_each: int, count: int) -> None:
+        """Record ``count`` identical messages of ``nbytes_each``.
+
+        Fault-free this is a single aggregated update, byte-identical to
+        ``count`` calls of :meth:`send`. With a fault injector installed the
+        per-send hook must observe every message, so it falls back to the
+        scalar loop (keeping drop/duplication draws identical too).
+        """
+        if src == dst or count <= 0:
+            return
+        if self.faults is not None:
+            for _ in range(count):
+                self.send(src, dst, nbytes_each)
+            return
+        if self._phase is None:
+            raise RuntimeError("network used outside of a phase")
+        self._phase.msgs_sent[src] += count
+        self._phase.bytes_sent[src] += nbytes_each * count
+        self._phase.msgs_recv[dst] += count
+        self._phase.bytes_recv[dst] += nbytes_each * count
+
     def all_to_all(self, nbytes_by_pair: dict[tuple[int, int], int]) -> None:
         """Record one message per (src, dst) pair present in the mapping."""
         for (src, dst), nbytes in nbytes_by_pair.items():

@@ -78,6 +78,23 @@ class GarHostStore:
             return None
         return local
 
+    def _master_locals(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`master_local` for keys this host must own.
+
+        Charges the same per-key hash probe as the scalar translation when
+        masters are not id-contiguous.
+        """
+        if keys.size and np.any(self.owner[keys] != self.host_id):
+            bad = int(keys[self.owner[keys] != self.host_id][0])
+            raise KeyError(f"node {bad} is not a master on host {self.host_id}")
+        if self._masters_contiguous:
+            return keys - self._master_base
+        self._check_counters().hash_probes += int(keys.size)
+        translate = self.part.global_to_local
+        return np.fromiter(
+            (translate[int(k)] for k in keys), dtype=np.int64, count=keys.size
+        )
+
     # -- reads ----------------------------------------------------------------
 
     def _check_counters(self) -> Counters:
@@ -174,6 +191,27 @@ class GarHostStore:
             raise KeyError(f"local node {local_id} (global {global_id}) has no value")
         return value
 
+    def read_local_bulk(self, local_ids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`read_local`: identical per-key accounting, values
+        returned as one array (numeric when possible)."""
+        count = int(local_ids.size)
+        counters = self.cluster.counters(self.host_id)
+        counters.vector_reads += count
+        masters = int(np.count_nonzero(local_ids < self.part.num_masters))
+        counters.reads_master += masters
+        counters.reads_remote += count - masters
+        store = self.values
+        out = [store[i] for i in local_ids.tolist()]
+        arr = np.asarray(out)
+        if arr.dtype == object:
+            for local_id, value in zip(local_ids.tolist(), out):
+                if value is None:
+                    global_id = int(self.part.local_to_global[local_id])
+                    raise KeyError(
+                        f"local node {local_id} (global {global_id}) has no value"
+                    )
+        return arr
+
     # -- writes (owner side) -------------------------------------------------
 
     def write_master(self, key: int, value: Any) -> None:
@@ -204,6 +242,86 @@ class GarHostStore:
             self.values[local] = new
             return True
         return False
+
+    # -- bulk owner-side operations (vectorized execution path) ---------------
+
+    def write_master_bulk(self, keys: np.ndarray, values: list[Any]) -> None:
+        """Batched :meth:`write_master` with aggregate accounting."""
+        locals_ = self._master_locals(keys)
+        self.cluster.counters(self.host_id).local_ops += int(keys.size)
+        store = self.values
+        for local, value in zip(locals_.tolist(), values):
+            store[local] = value
+
+    def serve_master_bulk(self, keys: np.ndarray) -> list[Any]:
+        """Batched :meth:`serve_master`: one dense gather, same charges."""
+        if keys.size == 0:
+            return []
+        locals_ = self._master_locals(keys)
+        self.cluster.counters(self.host_id).vector_reads += int(keys.size)
+        store = self.values
+        return [store[i] for i in locals_.tolist()]
+
+    def apply_master_bulk(
+        self, keys: np.ndarray, values: np.ndarray, op: ReduceOp
+    ) -> np.ndarray:
+        """Batched :meth:`apply_master`; returns the keys whose canonical
+        value changed. Bit-identical results and accounting: numeric batches
+        fold through the op's ufunc elementwise (each key appears once per
+        batch), everything else falls back to the per-key scalar rule.
+        """
+        if keys.size == 0:
+            return keys
+        locals_ = self._master_locals(keys)
+        count = int(keys.size)
+        counters = self.cluster.counters(self.host_id)
+        counters.vector_reads += count
+        counters.local_ops += count
+        store = self.values
+        local_list = locals_.tolist()
+        olds = [store[i] for i in local_list]
+        values_arr = np.asarray(values)
+        if values_arr.dtype != object and (
+            op.ufunc is not None or op.name == "overwrite"
+        ):
+            old_arr = np.asarray(olds)
+            if old_arr.dtype != object:
+                if op.name == "overwrite":
+                    new_arr = values_arr
+                else:
+                    new_arr = op.ufunc(old_arr, values_arr)
+                changed = new_arr != old_arr
+                if changed.any():
+                    changed_idx = np.flatnonzero(changed)
+                    for pos, value in zip(
+                        changed_idx.tolist(), new_arr[changed_idx].tolist()
+                    ):
+                        store[local_list[pos]] = value
+                return keys[changed]
+        changed_keys: list[int] = []
+        value_list = values_arr.tolist()
+        for pos, (local, old) in enumerate(zip(local_list, olds)):
+            value = value_list[pos]
+            new = value if old is None else op(old, value)
+            if new != old:
+                store[local] = new
+                changed_keys.append(int(keys[pos]))
+        return np.asarray(changed_keys, dtype=np.int64)
+
+    def write_mirror_bulk(self, keys: np.ndarray, values: list[Any]) -> None:
+        """Batched :meth:`write_mirror` with aggregate accounting."""
+        count = int(keys.size)
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += count
+        counters.local_ops += count
+        translate = self.part.global_to_local
+        num_masters = self.part.num_masters
+        store = self.values
+        for key, value in zip(keys.tolist(), values):
+            local = translate.get(key)
+            if local is None or local < num_masters:
+                raise KeyError(f"node {key} is not a mirror on host {self.host_id}")
+            store[local] = value
 
     # -- remote cache ----------------------------------------------------------
 
@@ -344,13 +462,45 @@ class HashHostStore:
     def read_local(self, local_id: int) -> Any:
         return self.read(int(self.part.local_to_global[local_id]))
 
+    def read_local_bulk(self, local_ids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`read_local`: aggregate charges, same probe counts."""
+        count = int(local_ids.size)
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += count
+        masters = int(np.count_nonzero(local_ids < self.part.num_masters))
+        counters.reads_master += masters
+        counters.reads_remote += count - masters
+        cache = self.cache
+        owned = self.owned
+        out = []
+        for key in self.part.local_to_global[local_ids].tolist():
+            if key in cache:
+                out.append(cache[key])
+            elif key % self.num_hosts == self.host_id and key in owned:
+                out.append(owned[key])
+            else:
+                raise KeyError(
+                    f"node {key} not in host {self.host_id}'s cache; "
+                    "was it requested?"
+                )
+        return np.asarray(out)
+
     def write_master(self, key: int, value: Any) -> None:
         self.cluster.counters(self.host_id).hash_probes += 1
         self.owned[key] = value
 
+    def write_master_bulk(self, keys: np.ndarray, values: list[Any]) -> None:
+        self.cluster.counters(self.host_id).hash_probes += int(keys.size)
+        self.owned.update(zip(keys.tolist(), values))
+
     def serve_master(self, key: int) -> Any:
         self.cluster.counters(self.host_id).hash_probes += 1
         return self.owned[key]
+
+    def serve_master_bulk(self, keys: np.ndarray) -> list[Any]:
+        self.cluster.counters(self.host_id).hash_probes += int(keys.size)
+        owned = self.owned
+        return [owned[key] for key in keys.tolist()]
 
     def apply_master(self, key: int, value: Any, op: ReduceOp) -> bool:
         counters = self.cluster.counters(self.host_id)
@@ -362,6 +512,25 @@ class HashHostStore:
             self.owned[key] = new
             return True
         return False
+
+    def apply_master_bulk(
+        self, keys: np.ndarray, values: np.ndarray, op: ReduceOp
+    ) -> np.ndarray:
+        """Batched :meth:`apply_master` (hash layout keeps the per-key rule;
+        only the counter updates aggregate). Returns the changed keys."""
+        count = int(keys.size)
+        counters = self.cluster.counters(self.host_id)
+        counters.hash_probes += count
+        counters.local_ops += count
+        owned = self.owned
+        changed_keys: list[int] = []
+        for key, value in zip(keys.tolist(), np.asarray(values).tolist()):
+            old = owned.get(key)
+            new = value if old is None else op(old, value)
+            if new != old:
+                owned[key] = new
+                changed_keys.append(key)
+        return np.asarray(changed_keys, dtype=np.int64)
 
     def materialize_remote(self, keys: np.ndarray, values: list[Any]) -> None:
         for key, value in zip(keys.tolist(), values):

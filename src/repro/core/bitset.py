@@ -28,6 +28,25 @@ class ConcurrentBitset:
         self._count += 1
         return True
 
+    def set_many(self, indices: np.ndarray) -> np.ndarray:
+        """Set many bits at once; returns the newly-set mask.
+
+        Equivalent to calling :meth:`set` per index in order: within the
+        batch only the first occurrence of a duplicate index can report
+        newly-set, and only if the bit was clear beforehand.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        was_set = self._bits[idx].copy()
+        first = np.zeros(idx.size, dtype=bool)
+        _, first_positions = np.unique(idx, return_index=True)
+        first[first_positions] = True
+        newly = first & ~was_set
+        self._bits[idx] = True
+        self._count += int(np.count_nonzero(newly))
+        return newly
+
     def test(self, index: int) -> bool:
         return bool(self._bits[index])
 

@@ -179,6 +179,12 @@ class NodePropMap:
         """Read by local id: the fast path for active nodes and edge endpoints."""
         return self.stores[host].read_local(local_id)
 
+    def read_local_bulk(self, host: int, local_ids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`read_local`: identical accounting, one array out."""
+        return self.stores[host].read_local_bulk(
+            np.asarray(local_ids, dtype=np.int64)
+        )
+
     def reduce(self, host: int, thread: int, key: int, value: Any, op: ReduceOp) -> None:
         """Reduce ``value`` onto ``key``'s property (visible next round)."""
         if not 0 <= key < self.pgraph.num_nodes:
@@ -194,6 +200,41 @@ class NodePropMap:
                 "a map uses a single reduction operator per loop"
             )
         self.reductions[host].reduce(thread, int(key), value, op)
+
+    def reduce_bulk(
+        self,
+        host: int,
+        threads: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        """Batched :meth:`reduce` (the bulk execution path).
+
+        ``threads`` must be non-decreasing - exactly what the static
+        dealing of ``par_for_bulk`` produces. The contract is byte-identical
+        counters, conflicts, and folded values vs the per-item calls.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        bad = (keys < 0) | (keys >= self.pgraph.num_nodes)
+        if bad.any():
+            key = int(keys[bad][0])
+            raise KeyError(
+                f"reduce target {key} is not a node id (graph has "
+                f"{self.pgraph.num_nodes} nodes)"
+            )
+        if self._op is None:
+            self._op = op
+        elif self._op.name != op.name:
+            raise ValueError(
+                f"map {self.name!r} reduced with {op.name!r} after {self._op.name!r}; "
+                "a map uses a single reduction operator per loop"
+            )
+        self.reductions[host].reduce_bulk(
+            np.asarray(threads), keys, np.asarray(values), op
+        )
 
     # ----------------------------------------------------------- compiler API
 
@@ -212,6 +253,17 @@ class NodePropMap:
         if not self.variant.uses_gar:
             return True
         return key in self._active[host]
+
+    def is_active_bulk(self, host: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_active` (uncharged, like the scalar probe)."""
+        keys = np.asarray(keys)
+        if not self.variant.uses_gar:
+            return np.ones(keys.size, dtype=bool)
+        active = self._active[host]
+        if not active:
+            return np.zeros(keys.size, dtype=bool)
+        active_arr = np.fromiter(active, dtype=np.int64, count=len(active))
+        return np.isin(keys, active_arr)
 
     def is_updated(self) -> bool:
         """Did the last reduce_sync change any master value? (BSP-round vote)"""
@@ -240,6 +292,40 @@ class NodePropMap:
             self.bitsets[host].set(key)
             return True
         return self.bitsets[host].set(key)
+
+    def request_bulk(self, host: int, keys: np.ndarray) -> np.ndarray:
+        """Batched :meth:`request`; returns the per-key accepted mask."""
+        keys = np.asarray(keys, dtype=np.int64)
+        counters = self.cluster.counters(host)
+        counters.local_ops += int(keys.size)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        store = self.stores[host]
+        eligible = np.ones(keys.size, dtype=bool)
+        if isinstance(store, GarHostStore):
+            own = self.pgraph.owner[keys] == host
+            if not store._masters_contiguous:
+                # master_local() pays one probe per owned-key translation.
+                store._check_counters().hash_probes += int(np.count_nonzero(own))
+            eligible = ~own
+            if self._pinned:
+                translate = store.part.global_to_local
+                num_masters = store.part.num_masters
+                mirror = np.fromiter(
+                    (translate.get(int(k), -1) >= num_masters for k in keys),
+                    dtype=bool,
+                    count=keys.size,
+                )
+                eligible &= ~mirror
+        accepted = np.zeros(keys.size, dtype=bool)
+        eligible_idx = np.flatnonzero(eligible)
+        if self.request_dedup:
+            accepted[eligible_idx] = self.bitsets[host].set_many(keys[eligible_idx])
+        else:
+            self._dup_requests[host].extend(keys[eligible_idx].tolist())
+            self.bitsets[host].set_many(keys[eligible_idx])
+            accepted[eligible_idx] = True
+        return accepted
 
     def request_sync(self) -> None:
         """Serve this round's requests: one message per host pair each way."""
@@ -282,9 +368,7 @@ class NodePropMap:
                     self.cluster.network.send(
                         host, owner_host, KEY_BYTES * owned_keys.size
                     )
-                served = [
-                    self.stores[owner_host].serve_master(int(k)) for k in owned_keys
-                ]
+                served = self.stores[owner_host].serve_master_bulk(owned_keys)
                 if owner_host != host:
                     self.cluster.network.send(
                         owner_host,
@@ -338,20 +422,30 @@ class NodePropMap:
             # Without GAR there is no locally-materialized master copy, so
             # every host refetches the keys it reads unconditionally (its
             # masters, plus mirrors while pinned) for the next round.
-            with self.cluster.phase(
-                PhaseKind.REQUEST_SYNC, label=f"{self.name}:refetch"
-            ):
-                if self.variant.uses_kvstore:
-                    self._kv_fetch_requests(include_always=True)
-                else:
-                    requests = [
-                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
-                        for store in self.stores
-                    ]
-                    self._serve_requests(requests)
+            self._refetch_all(f"{self.name}:refetch")
+
+    def _refetch_all(self, label: str) -> None:
+        """One unconditional refetch round for the non-GAR variants: every
+        host re-reads its always-fetch set (masters, plus mirrors while
+        pinned), via the kvstore or a request/serve exchange."""
+        with self.cluster.phase(PhaseKind.REQUEST_SYNC, label=label):
+            if self.variant.uses_kvstore:
+                self._kv_fetch_requests(include_always=True)
+            else:
+                requests = [
+                    np.fromiter(store.always_fetch_keys(), dtype=np.int64)
+                    for store in self.stores
+                ]
+                self._serve_requests(requests)
 
     def _sgr_reduce(self) -> None:
         op = self._op
+        if op is not None and all(
+            getattr(reduction, "bulk_state_only", False)
+            for reduction in self.reductions
+        ):
+            self._sgr_reduce_bulk(op)
+            return
         payloads: dict[tuple[int, int], list[tuple[int, Any]]] = {}
         for host in range(self.cluster.num_hosts):
             combined = self.reductions[host].collect(op) if op else {}
@@ -370,6 +464,44 @@ class NodePropMap:
         for store in self.stores:
             store.drop_remote()
 
+    def _sgr_reduce_bulk(self, op: ReduceOp) -> None:
+        """Array scatter-gather-reduce: collect per-host folded arrays,
+        apply self-owned partials during the host scan (as the scalar path
+        does), then ship and apply cross-host payloads in ascending source
+        order - the same per-key application order, message count, and
+        byte totals as the scalar path."""
+        num_hosts = self.cluster.num_hosts
+        payloads: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        for host in range(num_hosts):
+            keys, values = self.reductions[host].collect_arrays(op)
+            if keys.size == 0:
+                continue
+            owners = (
+                self.pgraph.owner[keys]
+                if self.variant.uses_gar
+                else keys % num_hosts
+            )
+            own = owners == host
+            if own.any():
+                self._apply_at_owner_bulk(host, keys[own], values[own], op)
+            remote = ~own
+            if remote.any():
+                remote_keys = keys[remote]
+                remote_values = values[remote]
+                remote_owners = owners[remote]
+                for owner_host in np.unique(remote_owners).tolist():
+                    mask = remote_owners == owner_host
+                    payloads.append(
+                        (host, int(owner_host), remote_keys[mask], remote_values[mask])
+                    )
+        for src, dst, keys, values in payloads:
+            self.cluster.network.send(
+                src, dst, (KEY_BYTES + self.value_nbytes) * int(keys.size)
+            )
+            self._apply_at_owner_bulk(dst, keys, values, op)
+        for store in self.stores:
+            store.drop_remote()
+
     def _apply_at_owner(self, owner: int, key: int, value: Any, op: ReduceOp) -> None:
         changed = self.stores[owner].apply_master(key, value, op)
         if changed:
@@ -377,6 +509,17 @@ class NodePropMap:
             if self.variant.uses_gar:
                 self._updated_masters[owner].add(key)
                 self._next_active[owner].add(key)
+
+    def _apply_at_owner_bulk(
+        self, owner: int, keys: np.ndarray, values: np.ndarray, op: ReduceOp
+    ) -> None:
+        changed = self.stores[owner].apply_master_bulk(keys, values, op)
+        if changed.size:
+            self._any_updated = True
+            if self.variant.uses_gar:
+                changed_list = changed.tolist()
+                self._updated_masters[owner].update(changed_list)
+                self._next_active[owner].update(changed_list)
 
     # ------------------------------------------------------- pinned mirrors
 
@@ -402,17 +545,7 @@ class NodePropMap:
         else:
             # Non-GAR variants cannot broadcast (no partition awareness);
             # the pinned mirrors join the per-round refetch set instead.
-            with self.cluster.phase(
-                PhaseKind.REQUEST_SYNC, label=f"{self.name}:pin-fetch"
-            ):
-                if self.variant.uses_kvstore:
-                    self._kv_fetch_requests(include_always=True)
-                else:
-                    requests = [
-                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
-                        for store in self.stores
-                    ]
-                    self._serve_requests(requests)
+            self._refetch_all(f"{self.name}:pin-fetch")
 
     def unpin_mirrors(self) -> None:
         self._pinned = False
@@ -455,15 +588,18 @@ class NodePropMap:
         fan_out = self._mirror_targets(self._pin_invariant)
         for owner_host in range(self.cluster.num_hosts):
             pending = self._updated_masters[owner_host]
+            pending_arr: np.ndarray | None = None
+            if not full and pending:
+                pending_arr = np.fromiter(
+                    pending, dtype=np.int64, count=len(pending)
+                )
             for mirror_host, ids in fan_out[owner_host].items():
                 if full:
                     selected = ids
                 else:
-                    if not pending:
+                    if pending_arr is None:
                         continue
-                    selected = np.asarray(
-                        [g for g in ids.tolist() if g in pending], dtype=np.int64
-                    )
+                    selected = ids[np.isin(ids, pending_arr)]
                 if selected.size == 0:
                     continue
                 self.cluster.network.send(
@@ -471,15 +607,12 @@ class NodePropMap:
                     mirror_host,
                     (KEY_BYTES + self.value_nbytes) * selected.size,
                 )
-                for key in selected.tolist():
-                    value = self.stores[owner_host].serve_master(key)
-                    self.stores[mirror_host].write_mirror(key, value)
-                    if not full:
-                        self._next_active[mirror_host].add(key)
-            if not full:
-                # keys may have mirrors on several hosts; only clear after
-                # the whole fan-out above ran for this owner
-                pass
+                values = self.stores[owner_host].serve_master_bulk(selected)
+                self.stores[mirror_host].write_mirror_bulk(selected, values)
+                if not full:
+                    self._next_active[mirror_host].update(selected.tolist())
+        # Keys may have mirrors on several hosts, so the pending sets only
+        # clear after the whole fan-out ran.
         for owner_host in range(self.cluster.num_hosts):
             self._updated_masters[owner_host].clear()
 
@@ -495,17 +628,43 @@ class NodePropMap:
                     self.set(host, key, value_of(key))
         self._report_memory()
         if not self.variant.uses_gar:
-            with self.cluster.phase(
-                PhaseKind.REQUEST_SYNC, label=f"{self.name}:init-fetch"
-            ):
-                if self.variant.uses_kvstore:
-                    self._kv_fetch_requests(include_always=True)
-                else:
-                    requests = [
-                        np.fromiter(store.always_fetch_keys(), dtype=np.int64)
-                        for store in self.stores
-                    ]
-                    self._serve_requests(requests)
+            self._refetch_all(f"{self.name}:init-fetch")
+
+    def set_initial_bulk(self, values_of: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Vectorized :meth:`set_initial`: ``values_of`` maps an array of
+        global ids to an array of values. Byte-identical accounting."""
+        with self.cluster.phase(PhaseKind.INIT, label=f"{self.name}:init"):
+            for host in range(self.cluster.num_hosts):
+                keys = self.pgraph.parts[host].masters_global
+                self.cluster.counters(host).node_iters += int(keys.size)
+                if keys.size == 0:
+                    continue
+                self._set_bulk(host, keys, np.asarray(values_of(keys)))
+        self._report_memory()
+        if not self.variant.uses_gar:
+            self._refetch_all(f"{self.name}:init-fetch")
+
+    def _set_bulk(self, host: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Batched :meth:`set` for keys iterated in ascending order."""
+        if self.variant.uses_kvstore:
+            assert self.kv_client is not None
+            for key, value in zip(keys.tolist(), values.tolist()):
+                self.kv_client.set(host, self._kv_key(key), value)
+            return
+        if self.variant.uses_gar:
+            # GAR masters are owned by their own host: no network traffic.
+            self.stores[host].write_master_bulk(keys, values.tolist())
+            return
+        owners = keys % self.cluster.num_hosts
+        for owner in np.unique(owners).tolist():
+            mask = owners == owner
+            owned_keys = keys[mask]
+            self.cluster.network.send_many(
+                host, owner, KEY_BYTES + self.value_nbytes, int(owned_keys.size)
+            )
+            self.stores[owner].write_master_bulk(
+                owned_keys, values[mask].tolist()
+            )
 
     def reset_values(self, value_of: Callable[[int], Any]) -> None:
         """Reinitialize every canonical value (a fresh init ParFor).
@@ -519,17 +678,33 @@ class NodePropMap:
             pending.clear()
         self.set_initial(value_of)
 
+    def reset_values_bulk(
+        self, values_of: Callable[[np.ndarray], np.ndarray]
+    ) -> None:
+        """Vectorized :meth:`reset_values` (same cost as set_initial_bulk)."""
+        self._op = None
+        self._any_updated = False
+        for pending in self._updated_masters:
+            pending.clear()
+        self.set_initial_bulk(values_of)
+
     def snapshot(self) -> dict[int, Any]:
         """All canonical master values, for verification (not charged)."""
         result: dict[int, Any] = {}
         if self.variant.uses_kvstore:
             assert self.kv_client is not None
-            for key in range(self.pgraph.num_nodes):
-                entry = self.kv_client.servers[
-                    self.kv_client.server_of(self._kv_key(key))
-                ].get(self._kv_key(key))
-                if entry is not None:
-                    result[key] = entry[0]
+            # One prefix scan per server shard instead of formatting and
+            # probing every possible node id; ascending insertion keeps the
+            # result's iteration order identical to the per-id probes.
+            prefix = self._kv_prefix()
+            found: dict[int, Any] = {}
+            for server in self.kv_client.servers:
+                for string_key, value in server.scan_prefix(prefix):
+                    suffix = string_key[len(prefix):]
+                    if suffix.isdigit():
+                        found[int(suffix)] = value
+            for key in sorted(found):
+                result[key] = found[key]
             return result
         for host in range(self.cluster.num_hosts):
             store = self.stores[host]
@@ -542,6 +717,51 @@ class NodePropMap:
                 assert isinstance(store, HashHostStore)
                 result.update(store.owned)
         return result
+
+    def snapshot_array(self) -> np.ndarray:
+        """Canonical master values as one dense array over global node ids.
+
+        The bulk algorithms' counterpart of :meth:`snapshot` (not charged).
+        Requires every node to hold a numeric value.
+        """
+        num_nodes = self.pgraph.num_nodes
+        if self.variant.uses_gar and all(
+            store._masters_contiguous for store in self.stores
+        ):
+            chunks: list[tuple[int, np.ndarray]] = []
+            for store in self.stores:
+                num_masters = store.part.num_masters
+                if num_masters == 0:
+                    continue
+                arr = np.asarray(store.values[:num_masters])
+                if arr.dtype == object:
+                    raise ValueError(
+                        f"map {self.name!r} has uninitialized or non-numeric "
+                        "masters; snapshot_array needs a value for every node"
+                    )
+                chunks.append((store._master_base, arr))
+            filled = sum(arr.size for _, arr in chunks)
+            if filled != num_nodes:
+                raise ValueError(
+                    f"map {self.name!r} has {filled} of {num_nodes} values; "
+                    "snapshot_array needs a value for every node"
+                )
+            out = np.zeros(
+                num_nodes,
+                dtype=np.result_type(*[arr.dtype for _, arr in chunks])
+                if chunks
+                else np.float64,
+            )
+            for base, arr in chunks:
+                out[base : base + arr.size] = arr
+            return out
+        values = self.snapshot()
+        if len(values) != num_nodes:
+            raise ValueError(
+                f"map {self.name!r} has {len(values)} of {num_nodes} values; "
+                "snapshot_array needs a value for every node"
+            )
+        return np.asarray([values[key] for key in range(num_nodes)])
 
     def pending_reductions(self) -> int:
         return sum(reduction.pending() for reduction in self.reductions)

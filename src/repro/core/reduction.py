@@ -12,17 +12,61 @@ Three strategies, matching Section 4.2 and the Section 6.4 variants:
   systems on power-law graphs.
 * :class:`KvCasReduction` (MC) - reductions are get+CAS retry loops against
   the distributed key-value store, with per-attempt network messages.
+
+Each strategy also exposes ``reduce_bulk`` for the vectorized execution
+path. The contract is strict: a bulk call must produce the same folded
+values, the same conflict counts, and the same counter totals as the
+equivalent sequence of scalar ``reduce`` calls (``threads`` non-decreasing,
+as the static dealing produces). Numeric batches stay folded as sorted
+key/value arrays (thread-major composite keys for CF) until
+``collect``/``collect_arrays``; anything that cannot be folded with a
+ufunc falls back to the scalar per-item path.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
 from repro.core.reducers import ReduceOp
 from repro.kvstore.client import KvClient
 
 KV_RETRY_CAP = 8
+
+
+def _fold_batch(
+    keys: np.ndarray, values: np.ndarray, op: ReduceOp
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Fold one batch into (sorted unique keys, per-key folded values).
+
+    Bit-identical to applying ``op`` left-to-right per key: the first
+    occurrence assigns, later occurrences fold via the op's unbuffered
+    ``.at`` ufunc form (which applies duplicate indices sequentially).
+    Returns None when the batch is not vectorizable (object values or an
+    operator with no ufunc).
+    """
+    if values.dtype == object:
+        return None
+    if op.ufunc is None and op.name != "overwrite":
+        return None
+    uniq, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    if op.name == "overwrite":
+        if uniq.size == keys.size:
+            return uniq, values[first_idx]
+        last = np.zeros(uniq.size, dtype=np.int64)
+        np.maximum.at(last, inverse, np.arange(keys.size, dtype=np.int64))
+        return uniq, values[last]
+    acc = values[first_idx]
+    if uniq.size != keys.size:
+        rest = np.ones(keys.size, dtype=bool)
+        rest[first_idx] = False
+        op.ufunc.at(acc, inverse[rest], values[rest])
+    return uniq, acc
 
 
 class ThreadLocalReduction:
@@ -39,18 +83,99 @@ class ThreadLocalReduction:
         self.maps: list[dict[int, Any]] = [
             {} for _ in range(cluster.threads_per_host)
         ]
+        # Bulk-path state: one whole batch folded on (thread, key)
+        # composite keys - ``uniq`` ascending in thread-major order, so a
+        # thread's segment is its sorted unique keys and its folded values.
+        # Dict state and batch state never coexist; mixing scalar and bulk
+        # reduces (or back-to-back bulk batches) spills the batch into the
+        # per-thread dicts with values unchanged.
+        self._batch: tuple[int, np.ndarray, np.ndarray] | None = None
 
     def reduce(self, thread: int, key: int, value: Any, op: ReduceOp) -> None:
         counters = self.cluster.counters(self.host_id)
         counters.reduce_calls += 1
+        if self._batch is not None:
+            self._spill_batch()
         local_map = self.maps[thread]
         if key in local_map:
             local_map[key] = op(local_map[key], value)
         else:
             local_map[key] = value
 
+    def reduce_bulk(
+        self,
+        threads: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        """Batched reduce (``threads`` non-decreasing): same accounting and
+        the same per-thread folded values as the scalar calls."""
+        counters = self.cluster.counters(self.host_id)
+        count = int(keys.size)
+        counters.reduce_calls += count
+        if count == 0:
+            return
+        values = np.asarray(values)
+        if self._batch is not None:
+            self._spill_batch()
+        if (
+            not any(self.maps)
+            and values.dtype != object
+            and (op.ufunc is not None or op.name == "overwrite")
+        ):
+            # All threads clean and the op folds with a ufunc: fold the
+            # whole batch at once on (thread, key) composite keys - one
+            # np.unique for the host. Bit-identical to per-thread folds:
+            # composites sort as (thread, key), and first occurrences plus
+            # the ``.at`` application order within a thread's segment match
+            # the segment-local left-to-right fold exactly.
+            span = int(keys.max()) + 1
+            uniq, folded = _fold_batch(threads * span + keys, values, op)
+            self._batch = (span, uniq, folded)
+            return
+        # Prior pending state or a non-vectorizable op: apply the exact
+        # sequential scalar rule into the thread dicts.
+        maps = self.maps
+        for thread, key, value in zip(
+            threads.tolist(), keys.tolist(), values.tolist()
+        ):
+            local_map = maps[thread]
+            if key in local_map:
+                local_map[key] = op(local_map[key], value)
+            else:
+                local_map[key] = value
+
+    def _spill_batch(self) -> None:
+        """Move the folded batch into the thread dicts (values unchanged)."""
+        span, uniq, folded = self._batch
+        self._batch = None
+        maps = self.maps
+        for composite, value in zip(uniq.tolist(), folded.tolist()):
+            maps[composite // span][composite % span] = value
+
     def pending(self) -> int:
-        return sum(len(m) for m in self.maps)
+        total = sum(map(len, self.maps))
+        if self._batch is not None:
+            total += int(self._batch[1].size)
+        return total
+
+    @property
+    def bulk_state_only(self) -> bool:
+        """True when no thread holds dict state, so collect_arrays() can
+        fold without materializing Python dicts."""
+        return not any(self.maps)
+
+    def _charge_combine(self) -> None:
+        counters = self.cluster.counters(self.host_id)
+        # Each entry is scanned while filtering by range and combined once.
+        combine_cost = 2 * self.pending()
+        if self.serial_combine:
+            # Ablation: a single thread combines all thread-local maps.
+            # The phase is priced divided by the thread count, so charging
+            # T times the work models zero parallel speedup.
+            combine_cost *= self.cluster.threads_per_host
+        counters.combine_ops += combine_cost
 
     def collect(self, op: ReduceOp) -> dict[int, Any]:
         """The combining step (Figure 7): disjoint key ranges per thread.
@@ -58,25 +183,45 @@ class ThreadLocalReduction:
         Charged to the calling phase (reduce-sync), matching the paper's
         observation that CF shifts combining cost into communication time.
         """
-        counters = self.cluster.counters(self.host_id)
-        total_entries = sum(len(m) for m in self.maps)
-        # Each entry is scanned while filtering by range and combined once.
-        combine_cost = 2 * total_entries
-        if self.serial_combine:
-            # Ablation: a single thread combines all thread-local maps.
-            # The phase is priced divided by the thread count, so charging
-            # T times the work models zero parallel speedup.
-            combine_cost *= self.cluster.threads_per_host
-        counters.combine_ops += combine_cost
+        self._charge_combine()
         combined: dict[int, Any] = {}
         for local_map in self.maps:
-            for key, value in local_map.items():
+            if local_map:
+                for key, value in local_map.items():
+                    if key in combined:
+                        combined[key] = op(combined[key], value)
+                    else:
+                        combined[key] = value
+                local_map.clear()
+        if self._batch is not None:
+            # Thread-major order = thread order, like the dict merge above.
+            span, uniq, folded = self._batch
+            self._batch = None
+            for composite, value in zip(uniq.tolist(), folded.tolist()):
+                key = composite % span
                 if key in combined:
                     combined[key] = op(combined[key], value)
                 else:
                     combined[key] = value
-            local_map.clear()
         return combined
+
+    def collect_arrays(self, op: ReduceOp) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk collect: the same combining semantics and charge as
+        :meth:`collect`, returning (sorted unique keys, values) arrays.
+        Requires :attr:`bulk_state_only`."""
+        self._charge_combine()
+        if self._batch is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        span, uniq, folded = self._batch
+        self._batch = None
+        # Strip the thread component; the result is the per-thread sorted
+        # key runs concatenated in thread order, so one more fold matches
+        # the thread-order dict merge of :meth:`collect` (first occurrence
+        # assigns, later threads fold left-to-right, overwrite keeps last).
+        merged = _fold_batch(uniq % span, folded, op)
+        if merged is None:  # pragma: no cover - batches are ufunc-foldable
+            raise TypeError(f"cannot fold bulk batch with op {op.name!r}")
+        return merged
 
 
 class SharedMapReduction:
@@ -91,8 +236,18 @@ class SharedMapReduction:
         self._writers: dict[int, set[int]] = {}
         self._map_writers: set[int] = set()
         self._write_count = 0
+        # Bulk-path state: folded (sorted unique keys, values) plus per-key
+        # first writer and whether more than one thread touched the key
+        # (enough to reconstruct exact writer-set conflict behavior if a
+        # scalar reduce follows).
+        self._bulk_keys: np.ndarray | None = None
+        self._bulk_vals: np.ndarray | None = None
+        self._bulk_first_writer: np.ndarray | None = None
+        self._bulk_multi: np.ndarray | None = None
 
     def reduce(self, thread: int, key: int, value: Any, op: ReduceOp) -> None:
+        if self._bulk_keys is not None:
+            self._spill_bulk()
         counters = self.cluster.counters(self.host_id)
         counters.cas_attempts += 1
         counters.hash_probes += 1
@@ -116,17 +271,136 @@ class SharedMapReduction:
         else:
             self.map[key] = value
 
+    def reduce_bulk(
+        self,
+        threads: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        """Batched reduce (``threads`` non-decreasing): conflict counts are
+        derived arithmetically, bit-identical to the scalar call sequence."""
+        count = int(keys.size)
+        if count == 0:
+            return
+        values = np.asarray(values)
+        vectorizable = values.dtype != object and (
+            op.ufunc is not None or op.name == "overwrite"
+        )
+        if self.map or self._bulk_keys is not None or not vectorizable:
+            if self._bulk_keys is not None:
+                self._spill_bulk()
+            for thread, key, value in zip(
+                threads.tolist(), keys.tolist(), values.tolist()
+            ):
+                self.reduce(thread, key, value, op)
+            return
+        counters = self.cluster.counters(self.host_id)
+        counters.cas_attempts += count
+        counters.hash_probes += count
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_threads = threads[order]
+        sorted_values = values[order]
+        seg_starts = np.flatnonzero(
+            np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+        )
+        seg_lens = np.diff(np.r_[seg_starts, count])
+        first_writers = sorted_threads[seg_starts]
+        # Per-key conflicts: within a key's calls (original order, preserved
+        # by the stable sort; threads non-decreasing) the writer set stays
+        # singleton through the leading run of the first thread and is
+        # multi-writer for every call after it.
+        same_as_first = sorted_threads == np.repeat(first_writers, seg_lens)
+        uncontended = np.add.reduceat(same_as_first.astype(np.int64), seg_starts)
+        counters.cas_conflicts += count - int(uncontended.sum())
+        # Structural contention in closed form: call i (1-based within the
+        # batch) conflicts iff the map's writer set holds >= 2 threads by
+        # then and the running write count W+i is even. The set reaches 2
+        # at the first call whose thread differs from the established
+        # single writer; the even-count tally over (W+j, W+count] follows.
+        write_count = self._write_count
+        first_thread = int(threads[0])
+        if len(self._map_writers) >= 2 or (
+            self._map_writers and first_thread not in self._map_writers
+        ):
+            eligible_from = 0
+        else:
+            eligible_from = int(np.searchsorted(threads, first_thread, side="right"))
+        counters.cas_conflicts += (write_count + count) // 2 - (
+            write_count + eligible_from
+        ) // 2
+        self._write_count = write_count + count
+        self._map_writers.update(np.unique(threads).tolist())
+        uniq_keys = sorted_keys[seg_starts]
+        if op.name == "overwrite":
+            folded = sorted_values[seg_starts + seg_lens - 1]
+        else:
+            folded = sorted_values[seg_starts]
+            if uniq_keys.size != count:
+                rest = np.ones(count, dtype=bool)
+                rest[seg_starts] = False
+                inverse = np.repeat(
+                    np.arange(uniq_keys.size, dtype=np.int64), seg_lens
+                )
+                op.ufunc.at(folded, inverse[rest], sorted_values[rest])
+        self._bulk_keys = uniq_keys
+        self._bulk_vals = folded
+        self._bulk_first_writer = first_writers
+        self._bulk_multi = seg_lens != uncontended
+
+    def _spill_bulk(self) -> None:
+        """Move folded arrays into the shared dict + writer-set tables.
+
+        A contended key gets a synthetic extra writer (-1): any later real
+        thread then sees a multi-writer set, exactly as after the scalar
+        calls (the conflict rule only tests ``len(writers) > 1``).
+        """
+        keys = self._bulk_keys
+        vals = self._bulk_vals
+        firsts = self._bulk_first_writer
+        multi = self._bulk_multi
+        self._bulk_keys = self._bulk_vals = None
+        self._bulk_first_writer = self._bulk_multi = None
+        for key, value, writer, contended in zip(
+            keys.tolist(), vals.tolist(), firsts.tolist(), multi.tolist()
+        ):
+            self.map[key] = value
+            self._writers[key] = {writer, -1} if contended else {writer}
+
     def pending(self) -> int:
-        return len(self.map)
+        total = len(self.map)
+        if self._bulk_keys is not None:
+            total += int(self._bulk_keys.size)
+        return total
+
+    @property
+    def bulk_state_only(self) -> bool:
+        return not self.map
 
     def collect(self, op: ReduceOp) -> dict[int, Any]:
         del op  # combining happened eagerly, amortized into compute
+        if self._bulk_keys is not None:
+            self._spill_bulk()
         combined = self.map
         self.map = {}
         self._writers.clear()
         self._map_writers.clear()
         self._write_count = 0
         return combined
+
+    def collect_arrays(self, op: ReduceOp) -> tuple[np.ndarray, np.ndarray]:
+        del op
+        keys = self._bulk_keys
+        vals = self._bulk_vals
+        self._bulk_keys = self._bulk_vals = None
+        self._bulk_first_writer = self._bulk_multi = None
+        self._writers.clear()
+        self._map_writers.clear()
+        self._write_count = 0
+        if keys is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return keys, vals
 
 
 class KvCasReduction:
@@ -181,6 +455,21 @@ class KvCasReduction:
             self.client.cas(self.host_id, string_key, new, version)
             if new != old_value:
                 self.on_change(key)
+
+    def reduce_bulk(
+        self,
+        threads: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        # Every reduction is a get+CAS round trip against string keys: the
+        # MC layout has no bulk fast path, by design (this *is* the paper's
+        # point about property maps layered over a generic kvstore).
+        for thread, key, value in zip(
+            threads.tolist(), keys.tolist(), np.asarray(values).tolist()
+        ):
+            self.reduce(thread, key, value, op)
 
     def pending(self) -> int:
         return 0

@@ -75,6 +75,16 @@ class KvServer:
     def delete(self, key: str) -> bool:
         return self._data.pop(key, None) is not None
 
+    def scan_prefix(self, prefix: str):
+        """Iterate live ``(key, value)`` pairs under ``prefix`` (no copy).
+
+        One traversal of the shard instead of one formatted-key probe per
+        possible id; snapshot() uses this to read a whole map back.
+        """
+        for key, entry in self._data.items():
+            if key.startswith(prefix):
+                yield key, entry.value
+
     # -- checkpointing (repro.faults) ---------------------------------------
 
     def count_prefix(self, prefix: str) -> int:
