@@ -14,12 +14,10 @@
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import record
 from repro.algorithms.common import shortcut_until_flat
 from repro.cluster import Cluster
-from repro.core import MIN, NodePropMap
+from repro.core import NodePropMap
 from repro.eval.harness import run_vite
 from repro.eval.workloads import load_graph
 from repro.graph import generators

@@ -15,7 +15,6 @@ import pytest
 
 from benchmarks.conftest import host_counts, record
 from repro.cluster import Cluster
-from repro.cluster.metrics import PhaseKind
 from repro.compiler.apps import COMPILED_APPS
 from repro.eval.harness import RunResult
 from repro.eval.workloads import load_graph

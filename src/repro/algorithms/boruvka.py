@@ -18,14 +18,18 @@ from __future__ import annotations
 
 import math
 
-from repro.algorithms.common import AlgorithmResult, shortcut_until_flat
+from repro.algorithms.common import (
+    AlgorithmResult,
+    resolve_executor,
+    shortcut_until_flat,
+)
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN, PAIR_MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import Executor, Operator, OperatorStep, Plan, ScalarKernel, SyncStep
 from repro.partition.base import PartitionedGraph
 from repro.runtime.bool_reducer import BoolReducer
-from repro.runtime.engine import par_for
 
 SENTINEL = (math.inf, -1, -1, -1)
 
@@ -34,10 +38,12 @@ def boruvka_msf(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run Boruvka MSF; values are component roots, extra["forest"] the edges."""
+    executor = resolve_executor(cluster, executor)
     parent = NodePropMap(cluster, pgraph, "msf_parent", variant=variant)
-    parent.set_initial(lambda node: node)
+    executor.init_map(parent, lambda nodes: nodes.copy())
     # The per-round minimum-outgoing-edge map (the paper's second map); it
     # is reset to the sentinel each Boruvka round rather than reallocated.
     best_edge = NodePropMap(
@@ -45,58 +51,93 @@ def boruvka_msf(
     )
     work_done = BoolReducer(cluster, "msf_work")
     forest: set[tuple[int, int, float]] = set()
+
+    def find_minimum(ctx) -> None:
+        own_component = parent.read_local(ctx.host, ctx.local)
+        for edge in ctx.edges():
+            dst_local = ctx.edge_dst_local(edge)
+            neighbor_component = parent.read_local(ctx.host, dst_local)
+            if own_component == neighbor_component:
+                continue
+            node, dst = ctx.node, ctx.edge_dst(edge)
+            candidate = (
+                ctx.edge_weight(edge),
+                min(node, dst),
+                max(node, dst),
+                neighbor_component,
+            )
+            best_edge.reduce(ctx.host, ctx.thread, own_component, candidate, PAIR_MIN)
+            work_done.reduce(ctx.host, True)
+
+    find_plan = Plan(
+        name="msf:min",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "msf:min",
+                    "all",
+                    ScalarKernel(
+                        find_minimum,
+                        read_names=(parent.name,),
+                        write_names=((best_edge.name, PAIR_MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(best_edge, "reduce"),
+        ],
+        once=True,
+    )
+
+    def hook(ctx) -> None:
+        chosen = best_edge.read_local(ctx.host, ctx.local)
+        if chosen == SENTINEL:
+            return
+        weight, endpoint_a, endpoint_b, other_component = chosen
+        forest.add((endpoint_a, endpoint_b, weight))
+        larger = max(ctx.node, other_component)
+        smaller = min(ctx.node, other_component)
+        parent.reduce(ctx.host, ctx.thread, larger, smaller, MIN)
+
+    hook_plan = Plan(
+        name="msf:hook",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "msf:hook",
+                    "masters",
+                    ScalarKernel(
+                        hook,
+                        read_names=(best_edge.name,),
+                        write_names=((parent.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(parent, "reduce"),
+        ],
+        once=True,
+    )
+
     total_rounds = 0
     boruvka_round = 0
     while True:
-        total_rounds += shortcut_until_flat(cluster, pgraph, parent)
+        total_rounds += shortcut_until_flat(cluster, pgraph, parent, executor=executor)
         parent.pin_mirrors(invariant="none")
         best_edge.reset_values(lambda node: SENTINEL)
         work_done.set_all(False)
-
-        def find_minimum(ctx) -> None:
-            own_component = parent.read_local(ctx.host, ctx.local)
-            for edge in ctx.edges():
-                dst_local = ctx.edge_dst_local(edge)
-                neighbor_component = parent.read_local(ctx.host, dst_local)
-                if own_component == neighbor_component:
-                    continue
-                node, dst = ctx.node, ctx.edge_dst(edge)
-                candidate = (
-                    ctx.edge_weight(edge),
-                    min(node, dst),
-                    max(node, dst),
-                    neighbor_component,
-                )
-                best_edge.reduce(
-                    ctx.host, ctx.thread, own_component, candidate, PAIR_MIN
-                )
-                work_done.reduce(ctx.host, True)
-
-        par_for(cluster, pgraph, "all", find_minimum, label="msf:min")
-        best_edge.reduce_sync()
+        executor.run(find_plan)
         work_done.sync()
         if not work_done.read():
             parent.unpin_mirrors()
             break
-
-        def hook(ctx) -> None:
-            chosen = best_edge.read_local(ctx.host, ctx.local)
-            if chosen == SENTINEL:
-                return
-            weight, endpoint_a, endpoint_b, other_component = chosen
-            forest.add((endpoint_a, endpoint_b, weight))
-            larger = max(ctx.node, other_component)
-            smaller = min(ctx.node, other_component)
-            parent.reduce(ctx.host, ctx.thread, larger, smaller, MIN)
-
-        par_for(cluster, pgraph, "masters", hook, label="msf:hook")
-        parent.reduce_sync()
+        executor.run(hook_plan)
         parent.unpin_mirrors()
         total_rounds += 1
         boruvka_round += 1
         if boruvka_round > pgraph.num_nodes:
             raise RuntimeError("Boruvka failed to converge")
-    total_rounds += shortcut_until_flat(cluster, pgraph, parent)
+    total_rounds += shortcut_until_flat(cluster, pgraph, parent, executor=executor)
     total_weight = sum(weight for _, _, weight in forest)
     return AlgorithmResult(
         name="MSF",

@@ -13,78 +13,59 @@ networks (the motivation for CC-SV / CC-SCLP).
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.algorithms.common import AlgorithmResult
+from repro.algorithms.common import AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import EdgePush, Executor, Operator, OperatorStep, Plan, SyncStep
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for, par_for_bulk
+
+
+def cc_lp_plan(pgraph: PartitionedGraph, label: NodePropMap) -> Plan:
+    """One CC-LP round as an operator plan.
+
+    Push-style: proxies without local out-edges do nothing (and under the
+    push invariant their mirror values are never fed); data-driven
+    activity keeps per-round work proportional to the frontier (Gluon's
+    worklist execution).
+    """
+    return Plan(
+        name="cc_lp",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "cc_lp",
+                    "all",
+                    EdgePush(
+                        target=label,
+                        op=MIN,
+                        source=label,
+                        require_active=label,
+                        charge_per_source=1,
+                    ),
+                )
+            ),
+            SyncStep(label, "reduce"),
+            SyncStep(label, "broadcast"),
+        ],
+        quiesce=(label,),
+    )
 
 
 def cc_lp(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
-    bulk: bool = False,
+    executor: Executor | None = None,
+    bulk: bool | None = None,
 ) -> AlgorithmResult:
     """Run label-propagation connected components; values are component ids."""
+    executor = resolve_executor(cluster, executor, bulk, "cc_lp")
     label = NodePropMap(cluster, pgraph, "cc_label", variant=variant)
-    if bulk:
-        label.set_initial_bulk(lambda nodes: nodes.copy())
-    else:
-        label.set_initial(lambda node: node)
+    executor.init_map(label, lambda nodes: nodes.copy())
     label.pin_mirrors(invariant="push")
-
-    def round_body() -> None:
-        def operator(ctx) -> None:
-            if ctx.part.degree(ctx.local) == 0:
-                # Push-style: proxies without local out-edges do nothing, and
-                # under the push invariant their mirror values are never fed.
-                return
-            ctx.charge(1)
-            if not label.is_active(ctx.host, ctx.node):
-                # Data-driven: only labels that changed last round push
-                # (Gluon's worklist execution; also what keeps CC-LP's
-                # per-round work proportional to the frontier).
-                return
-            node_label = label.read_local(ctx.host, ctx.local)
-            for edge in ctx.edges():
-                dst = ctx.edge_dst(edge)
-                label.reduce(ctx.host, ctx.thread, dst, node_label, MIN)
-
-        par_for(cluster, pgraph, "all", operator, label="cc_lp")
-        label.reduce_sync()
-        label.broadcast_sync()
-
-    def round_body_bulk() -> None:
-        def operator(ctx) -> None:
-            degs = ctx.degrees()
-            sel = np.flatnonzero(degs > 0)
-            if sel.size == 0:
-                return
-            ctx.charge(int(sel.size))
-            sel = sel[label.is_active_bulk(ctx.host, ctx.node_ids[sel])]
-            if sel.size == 0:
-                return
-            labels = label.read_local_bulk(ctx.host, ctx.local_ids[sel])
-            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
-            if edge_ids.size == 0:
-                return
-            label.reduce_bulk(
-                ctx.host,
-                ctx.threads[sel][source_pos],
-                ctx.edge_dst(edge_ids),
-                labels[source_pos],
-                MIN,
-            )
-
-        par_for_bulk(cluster, pgraph, "all", operator, label="cc_lp")
-        label.reduce_sync()
-        label.broadcast_sync()
-
-    rounds = kimbap_while(label, round_body_bulk if bulk else round_body)
+    rounds = executor.run(cc_lp_plan(pgraph, label))
     label.unpin_mirrors()
     return AlgorithmResult(name="CC-LP", values=label.snapshot(), rounds=rounds)

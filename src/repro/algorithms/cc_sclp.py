@@ -9,66 +9,98 @@ plain CC-LP on the high-diameter road graph.
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmResult
+from repro.algorithms.common import AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import (
+    EdgePush,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
+
+
+def cc_sclp_plan(pgraph: PartitionedGraph, label: NodePropMap) -> Plan:
+    """One propagate + shortcut round as an operator plan."""
+
+    def request(ctx) -> None:
+        node_label = label.read_local(ctx.host, ctx.local)
+        label.request(ctx.host, node_label)
+
+    def shortcut(ctx) -> None:
+        node_label = label.read_local(ctx.host, ctx.local)
+        label_of_label = label.read(ctx.host, node_label)
+        if node_label != label_of_label:
+            label.reduce(ctx.host, ctx.thread, ctx.node, label_of_label, MIN)
+
+    return Plan(
+        name="cc_sclp",
+        pgraph=pgraph,
+        steps=[
+            # Propagation step (adjacent): push my label to neighbors;
+            # data-driven, only changed labels push.
+            OperatorStep(
+                Operator(
+                    "sclp:prop",
+                    "all",
+                    EdgePush(
+                        target=label,
+                        op=MIN,
+                        source=label,
+                        require_active=label,
+                        skip_zero_degree=False,
+                        charge_per_source=1,
+                    ),
+                )
+            ),
+            SyncStep(label, "reduce"),
+            SyncStep(label, "broadcast"),
+            # Shortcut step (trans): label <- label(label).
+            OperatorStep(
+                Operator(
+                    "sclp:req",
+                    "masters",
+                    ScalarKernel(request, read_names=(label.name,)),
+                    kind=PhaseKind.REQUEST_COMPUTE,
+                )
+            ),
+            SyncStep(label, "request"),
+            OperatorStep(
+                Operator(
+                    "sclp:short",
+                    "masters",
+                    ScalarKernel(
+                        shortcut,
+                        read_names=(label.name,),
+                        write_names=((label.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(label, "reduce"),
+            SyncStep(label, "broadcast"),
+        ],
+        quiesce=(label,),
+    )
 
 
 def cc_sclp(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run shortcutting label propagation; values are component ids."""
+    executor = resolve_executor(cluster, executor)
     label = NodePropMap(cluster, pgraph, "sclp_label", variant=variant)
-    label.set_initial(lambda node: node)
+    executor.init_map(label, lambda nodes: nodes.copy())
     label.pin_mirrors(invariant="none")
-
-    def round_body() -> None:
-        # Propagation step (adjacent): push my label to neighbors.
-        def propagate(ctx) -> None:
-            ctx.charge(1)
-            if not label.is_active(ctx.host, ctx.node):
-                return  # data-driven: only changed labels push
-            node_label = label.read_local(ctx.host, ctx.local)
-            for edge in ctx.edges():
-                dst = ctx.edge_dst(edge)
-                label.reduce(ctx.host, ctx.thread, dst, node_label, MIN)
-
-        par_for(cluster, pgraph, "all", propagate, label="sclp:prop")
-        label.reduce_sync()
-        label.broadcast_sync()
-
-        # Shortcut step (trans): label <- label(label).
-        def request(ctx) -> None:
-            node_label = label.read_local(ctx.host, ctx.local)
-            label.request(ctx.host, node_label)
-
-        par_for(
-            cluster,
-            pgraph,
-            "masters",
-            request,
-            kind=PhaseKind.REQUEST_COMPUTE,
-            label="sclp:req",
-        )
-        label.request_sync()
-
-        def shortcut(ctx) -> None:
-            node_label = label.read_local(ctx.host, ctx.local)
-            label_of_label = label.read(ctx.host, node_label)
-            if node_label != label_of_label:
-                label.reduce(ctx.host, ctx.thread, ctx.node, label_of_label, MIN)
-
-        par_for(cluster, pgraph, "masters", shortcut, label="sclp:short")
-        label.reduce_sync()
-        label.broadcast_sync()
-
-    rounds = kimbap_while(label, round_body)
+    rounds = executor.run(cc_sclp_plan(pgraph, label))
     label.unpin_mirrors()
     return AlgorithmResult(name="CC-SCLP", values=label.snapshot(), rounds=rounds)

@@ -14,38 +14,63 @@ CC-LP on high-diameter graphs.
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmResult, shortcut_until_flat
+from repro.algorithms.common import AlgorithmResult, resolve_executor, shortcut_until_flat
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import Executor, Operator, OperatorStep, Plan, ScalarKernel, SyncStep
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
 from repro.runtime.bool_reducer import BoolReducer
+
+
+def cc_sv_hook_plan(
+    pgraph: PartitionedGraph, parent: NodePropMap, work_done: BoolReducer
+) -> Plan:
+    """The hook loop (run until quiescent between shortcut phases)."""
+
+    def operator(ctx) -> None:
+        src_parent = parent.read_local(ctx.host, ctx.local)
+        for edge in ctx.edges():
+            dst_parent = parent.read_local(ctx.host, ctx.edge_dst_local(edge))
+            if src_parent > dst_parent:
+                work_done.reduce(ctx.host, True)
+                parent.reduce(ctx.host, ctx.thread, src_parent, dst_parent, MIN)
+
+    return Plan(
+        name="cc_sv:hook",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "hook",
+                    "all",
+                    ScalarKernel(
+                        operator,
+                        read_names=(parent.name,),
+                        write_names=((parent.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(parent, "reduce"),
+            SyncStep(parent, "broadcast"),
+        ],
+        quiesce=(parent,),
+    )
 
 
 def cc_sv(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run Shiloach-Vishkin; values are the minimum node id per component."""
+    executor = resolve_executor(cluster, executor)
     parent = NodePropMap(cluster, pgraph, "sv_parent", variant=variant)
-    parent.set_initial(lambda node: node)
+    executor.init_map(parent, lambda nodes: nodes.copy())
     work_done = BoolReducer(cluster, "sv_work")
-
-    def hook_round() -> None:
-        def operator(ctx) -> None:
-            src_parent = parent.read_local(ctx.host, ctx.local)
-            for edge in ctx.edges():
-                dst_parent = parent.read_local(ctx.host, ctx.edge_dst_local(edge))
-                if src_parent > dst_parent:
-                    work_done.reduce(ctx.host, True)
-                    parent.reduce(ctx.host, ctx.thread, src_parent, dst_parent, MIN)
-
-        par_for(cluster, pgraph, "all", operator, label="hook")
-        parent.reduce_sync()
-        parent.broadcast_sync()
+    hook_plan = cc_sv_hook_plan(pgraph, parent, work_done)
 
     total_rounds = 0
     outer_rounds = 0
@@ -54,10 +79,10 @@ def cc_sv(
         # Hook reads the active node and its neighbors only (writes go
         # anywhere), so the compiler pins mirrors and elides requests.
         parent.pin_mirrors(invariant="none")
-        total_rounds += kimbap_while(parent, hook_round)
+        total_rounds += executor.run(hook_plan)
         work_done.sync()
         parent.unpin_mirrors()
-        total_rounds += shortcut_until_flat(cluster, pgraph, parent)
+        total_rounds += shortcut_until_flat(cluster, pgraph, parent, executor=executor)
         outer_rounds += 1
         if not work_done.read():
             break

@@ -7,6 +7,7 @@ coarsening step shared by Louvain and Leiden.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -16,13 +17,45 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN, ReduceOp
+from repro.exec import (
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    SyncStep,
+)
 from repro.graph.csr import Graph
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import NonQuiescenceError, par_for
 
 # Single-writer assignment expressed as a reduction: only ever reduce a key
 # from one site per round (e.g. a node updating its *own* cluster id).
 OVERWRITE = ReduceOp("overwrite", lambda old, new: new)
+
+
+def resolve_executor(
+    cluster: Cluster,
+    executor: Executor | None,
+    bulk: bool | None = None,
+    name: str = "algorithm",
+) -> Executor:
+    """Resolve the executor an algorithm should run its plans on.
+
+    Algorithms take ``executor=``; the backend (scalar vs bulk) is the
+    executor's choice, not the algorithm's. The legacy per-algorithm
+    ``bulk=`` flag still works as a deprecation shim.
+    """
+    if executor is not None:
+        return executor
+    if bulk is not None:
+        warnings.warn(
+            f"{name}(bulk=...) is deprecated; pass bulk= to run_kimbap or "
+            "construct a repro.exec.Executor and pass executor=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return Executor(cluster, bulk=bool(bulk))
+    return Executor(cluster)
 
 
 @dataclass
@@ -65,53 +98,79 @@ ALGORITHM_OPERATORS: dict[str, OperatorKinds] = {
 }
 
 
+def shortcut_plan(
+    pgraph: PartitionedGraph,
+    parent: NodePropMap,
+    max_rounds: int = 100000,
+) -> Plan:
+    """Pointer jumping (Figure 8's compiled shortcut) as an operator plan.
+
+    Each round: a request operator over master nodes reads each node's
+    parent and requests the grandparent; after request-sync, the shortcut
+    operator min-reduces the grandparent onto the node. The first request
+    ParFor of the naive compilation (requesting the node's own parent) is
+    elided - master properties are always local.
+    """
+
+    def request_body(ctx):
+        node_parent = parent.read_local(ctx.host, ctx.local)
+        parent.request(ctx.host, node_parent)
+
+    def shortcut_body(ctx):
+        node_parent = parent.read_local(ctx.host, ctx.local)
+        grand_parent = parent.read(ctx.host, node_parent)
+        if node_parent != grand_parent:
+            parent.reduce(ctx.host, ctx.thread, ctx.node, grand_parent, MIN)
+
+    return Plan(
+        name="shortcut",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "shortcut:req",
+                    "masters",
+                    ScalarKernel(request_body, read_names=(parent.name,)),
+                    kind=PhaseKind.REQUEST_COMPUTE,
+                )
+            ),
+            SyncStep(parent, "request"),
+            OperatorStep(
+                Operator(
+                    "shortcut",
+                    "masters",
+                    ScalarKernel(
+                        shortcut_body,
+                        read_names=(parent.name,),
+                        write_names=((parent.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(parent, "reduce"),
+            SyncStep(parent, "broadcast"),
+        ],
+        quiesce=(parent,),
+        max_rounds=max_rounds,
+        loop_label="shortcut",
+    )
+
+
 def shortcut_until_flat(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     parent: NodePropMap,
     max_rounds: int = 100000,
+    executor: Executor | None = None,
 ) -> int:
-    """Pointer jumping (Figure 8's compiled shortcut) until the forest is flat.
+    """Run :func:`shortcut_plan` until the forest is flat; returns rounds.
 
-    Each round: a request ParFor over master nodes reads each node's parent
-    and requests the grandparent; after request-sync, the main ParFor
-    min-reduces the grandparent onto the node. The first request ParFor of
-    the naive compilation (requesting the node's own parent) is elided -
-    master properties are always local.
+    Shortcut rounds now advance the cluster's global round counter, so
+    crash injection targeting any round of a multi-loop algorithm (CC-SV,
+    MSF) lands exactly once and recovery covers the shortcut loops too.
     """
-    rounds = 0
-    while True:
-        parent.reset_updated()
-
-        def request_body(ctx):
-            node_parent = parent.read_local(ctx.host, ctx.local)
-            parent.request(ctx.host, node_parent)
-
-        par_for(
-            cluster,
-            pgraph,
-            "masters",
-            request_body,
-            kind=PhaseKind.REQUEST_COMPUTE,
-            label="shortcut:req",
-        )
-        parent.request_sync()
-
-        def shortcut_body(ctx):
-            node_parent = parent.read_local(ctx.host, ctx.local)
-            grand_parent = parent.read(ctx.host, node_parent)
-            if node_parent != grand_parent:
-                parent.reduce(ctx.host, ctx.thread, ctx.node, grand_parent, MIN)
-
-        par_for(cluster, pgraph, "masters", shortcut_body, label="shortcut")
-        parent.reduce_sync()
-        if parent.pinned:
-            parent.broadcast_sync()
-        rounds += 1
-        if not parent.is_updated():
-            return rounds
-        if rounds >= max_rounds:
-            raise NonQuiescenceError(rounds, [parent.name], loop="shortcut")
+    if executor is None:
+        executor = Executor(cluster)
+    return executor.run(shortcut_plan(pgraph, parent, max_rounds=max_rounds))
 
 
 def weighted_degrees(graph: Graph) -> np.ndarray:

@@ -17,13 +17,13 @@ and its neighbors - adjacent-vertex, mirrors pinned, no request phases.
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmResult
+from repro.algorithms.common import AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import Executor, Operator, OperatorStep, Plan, ScalarKernel, SyncStep
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
 
 
 def h_index(values: list[int]) -> int:
@@ -37,44 +37,63 @@ def h_index(values: list[int]) -> int:
     return best
 
 
+def k_core_plan(pgraph: PartitionedGraph, estimate: NodePropMap) -> Plan:
+    """One H-index lowering round as an operator plan."""
+
+    def operator(ctx) -> None:
+        current = estimate.read_local(ctx.host, ctx.local)
+        if current == 0:
+            return
+        neighbor_estimates = []
+        for edge in ctx.edges():
+            dst_local = ctx.edge_dst_local(edge)
+            if dst_local == ctx.local:
+                continue  # self-loops never support a core
+            neighbor_estimates.append(estimate.read_local(ctx.host, dst_local))
+        bound = h_index(neighbor_estimates)
+        ctx.charge(len(neighbor_estimates))
+        if bound < current:
+            estimate.reduce(ctx.host, ctx.thread, ctx.node, bound, MIN)
+
+    return Plan(
+        name="k_core",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "core",
+                    "masters",
+                    ScalarKernel(
+                        operator,
+                        read_names=(estimate.name,),
+                        write_names=((estimate.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(estimate, "reduce"),
+            SyncStep(estimate, "broadcast"),
+        ],
+        quiesce=(estimate,),
+    )
+
+
 def k_core(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Compute core numbers; values are exact k-core indices per node."""
+    executor = resolve_executor(cluster, executor)
     if cluster.num_hosts > 1 and pgraph.policy != "oec":
         raise ValueError(
             "k-core's H-index needs every node's full edge list at its "
             "master: partition with the outgoing edge-cut ('oec')"
         )
     estimate = NodePropMap(cluster, pgraph, "core_estimate", variant=variant)
-    estimate.set_initial(lambda node: pgraph.graph.degree(node))
+    executor.init_map(estimate, elementwise=lambda node: pgraph.graph.degree(node))
     estimate.pin_mirrors(invariant="none")
-
-    def round_body() -> None:
-        def operator(ctx) -> None:
-            current = estimate.read_local(ctx.host, ctx.local)
-            if current == 0:
-                return
-            neighbor_estimates = []
-            for edge in ctx.edges():
-                dst_local = ctx.edge_dst_local(edge)
-                if dst_local == ctx.local:
-                    continue  # self-loops never support a core
-                neighbor_estimates.append(
-                    estimate.read_local(ctx.host, dst_local)
-                )
-            bound = h_index(neighbor_estimates)
-            ctx.charge(len(neighbor_estimates))
-            if bound < current:
-                estimate.reduce(ctx.host, ctx.thread, ctx.node, bound, MIN)
-
-        par_for(cluster, pgraph, "masters", operator, label="core")
-        estimate.reduce_sync()
-        estimate.broadcast_sync()
-
-    rounds = kimbap_while(estimate, round_body)
+    rounds = executor.run(k_core_plan(pgraph, estimate))
     estimate.unpin_mirrors()
     values = {k: int(v) for k, v in estimate.snapshot().items()}
     return AlgorithmResult(

@@ -25,16 +25,92 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmResult, coarsen, modularity
+from repro.algorithms.common import (
+    AlgorithmResult,
+    coarsen,
+    modularity,
+    resolve_executor,
+)
 from repro.algorithms.louvain import local_moving
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import (
+    EdgePush,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
 from repro.partition.policies import partition
-from repro.runtime.engine import kimbap_while, par_for
+
+
+def connected_split_plan(
+    pgraph: PartitionedGraph, sub: NodePropMap, group_of: np.ndarray, name: str
+) -> Plan:
+    """One intra-group LP + shortcut round as an operator plan."""
+
+    def request(ctx) -> None:
+        own_label = sub.read_local(ctx.host, ctx.local)
+        sub.request(ctx.host, own_label)
+
+    def shortcut(ctx) -> None:
+        own_label = sub.read_local(ctx.host, ctx.local)
+        label_of_label = sub.read(ctx.host, own_label)
+        if own_label != label_of_label:
+            sub.reduce(ctx.host, ctx.thread, ctx.node, label_of_label, MIN)
+
+    return Plan(
+        name=name,
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    f"{name}:prop",
+                    "all",
+                    EdgePush(
+                        target=sub,
+                        op=MIN,
+                        source=sub,
+                        skip_zero_degree=False,
+                        charge_per_edge=1,
+                        edge_filter=lambda src, dst: group_of[src] == group_of[dst],
+                    ),
+                )
+            ),
+            SyncStep(sub, "reduce"),
+            SyncStep(sub, "broadcast"),
+            OperatorStep(
+                Operator(
+                    f"{name}:req",
+                    "masters",
+                    ScalarKernel(request, read_names=(sub.name,)),
+                    kind=PhaseKind.REQUEST_COMPUTE,
+                )
+            ),
+            SyncStep(sub, "request"),
+            OperatorStep(
+                Operator(
+                    f"{name}:short",
+                    "masters",
+                    ScalarKernel(
+                        shortcut,
+                        read_names=(sub.name,),
+                        write_names=((sub.name, MIN.name),),
+                    ),
+                )
+            ),
+            SyncStep(sub, "reduce"),
+            SyncStep(sub, "broadcast"),
+        ],
+        quiesce=(sub,),
+        loop_label=name,
+    )
 
 
 def connected_split(
@@ -43,6 +119,7 @@ def connected_split(
     variant: RuntimeVariant,
     group_of: np.ndarray,
     name: str,
+    executor: Executor | None = None,
 ) -> tuple[np.ndarray, int]:
     """Split each group into connected subgroups (min-label LP + shortcut).
 
@@ -50,49 +127,11 @@ def connected_split(
     connected components of each group's induced subgraph. The shortcut
     step is the same trans-vertex pointer jumping as CC-SCLP.
     """
+    executor = resolve_executor(cluster, executor)
     sub = NodePropMap(cluster, pgraph, name, variant=variant)
-    sub.set_initial(lambda node: node)
+    executor.init_map(sub, lambda nodes: nodes.copy())
     sub.pin_mirrors(invariant="none")
-
-    def round_body() -> None:
-        def propagate(ctx) -> None:
-            own_label = sub.read_local(ctx.host, ctx.local)
-            own_group = group_of[ctx.node]
-            for edge in ctx.edges():
-                dst = ctx.edge_dst(edge)
-                ctx.charge(1)
-                if group_of[dst] == own_group:
-                    sub.reduce(ctx.host, ctx.thread, dst, own_label, MIN)
-
-        par_for(cluster, pgraph, "all", propagate, label=f"{name}:prop")
-        sub.reduce_sync()
-        sub.broadcast_sync()
-
-        def request(ctx) -> None:
-            own_label = sub.read_local(ctx.host, ctx.local)
-            sub.request(ctx.host, own_label)
-
-        par_for(
-            cluster,
-            pgraph,
-            "masters",
-            request,
-            kind=PhaseKind.REQUEST_COMPUTE,
-            label=f"{name}:req",
-        )
-        sub.request_sync()
-
-        def shortcut(ctx) -> None:
-            own_label = sub.read_local(ctx.host, ctx.local)
-            label_of_label = sub.read(ctx.host, own_label)
-            if own_label != label_of_label:
-                sub.reduce(ctx.host, ctx.thread, ctx.node, label_of_label, MIN)
-
-        par_for(cluster, pgraph, "masters", shortcut, label=f"{name}:short")
-        sub.reduce_sync()
-        sub.broadcast_sync()
-
-    rounds = kimbap_while(sub, round_body)
+    rounds = executor.run(connected_split_plan(pgraph, sub, group_of, name))
     sub.unpin_mirrors()
     snapshot = sub.snapshot()
     labels = np.asarray(
@@ -108,6 +147,7 @@ def leiden(
     gamma: float = 1.0,
     max_rounds_per_level: int = 40,
     max_levels: int = 12,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run deterministic Leiden; values are community ids per original node.
 
@@ -115,6 +155,7 @@ def leiden(
     Louvain lacks) because aggregation always happens over connected
     subclusters.
     """
+    executor = resolve_executor(cluster, executor)
     level_graph = pgraph.graph
     level_pgraph = pgraph
     node_to_coarse = np.arange(level_graph.num_nodes, dtype=np.int64)
@@ -131,6 +172,7 @@ def leiden(
             max_rounds_per_level,
             name=f"ld{levels}m",
             initial_labels=initial_labels,
+            executor=executor,
         )
         total_rounds += moving_rounds
         levels += 1
@@ -152,10 +194,12 @@ def leiden(
             max_rounds_per_level,
             name=f"ld{levels}r",
             constraint=labels,
+            executor=executor,
         )
         total_rounds += refine_rounds
         sub_labels, split_rounds = connected_split(
-            cluster, level_pgraph, variant, refined, name=f"ld{levels}s"
+            cluster, level_pgraph, variant, refined, name=f"ld{levels}s",
+            executor=executor,
         )
         total_rounds += split_rounds
 
@@ -186,7 +230,8 @@ def leiden(
     # moving pass left any community disconnected on the original graph,
     # split it into its connected pieces (this never lowers modularity).
     final_labels, cleanup_rounds = connected_split(
-        cluster, pgraph, variant, communities_of_original, name="ld_final"
+        cluster, pgraph, variant, communities_of_original, name="ld_final",
+        executor=executor,
     )
     total_rounds += cleanup_rounds
     communities = {

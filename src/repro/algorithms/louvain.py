@@ -29,6 +29,7 @@ from repro.algorithms.common import (
     AlgorithmResult,
     coarsen,
     modularity,
+    resolve_executor,
     weighted_degrees,
 )
 from repro.cluster.cluster import Cluster
@@ -36,9 +37,17 @@ from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import ReduceOp
 from repro.core.variants import RuntimeVariant
+from repro.exec import (
+    Executor,
+    HostStep,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
 from repro.partition.policies import partition
-from repro.runtime.engine import par_for
 
 
 def local_moving(
@@ -51,6 +60,7 @@ def local_moving(
     initial_labels: np.ndarray | None = None,
     constraint: np.ndarray | None = None,
     min_moves_fraction: float = 0.01,
+    executor: Executor | None = None,
 ) -> tuple[np.ndarray, int]:
     """The BSP local-moving phase shared by Louvain and Leiden.
 
@@ -63,6 +73,7 @@ def local_moving(
     nodes moved in a round - the long tail of single-node rounds costs
     full graph scans for negligible modularity.
     """
+    executor = resolve_executor(cluster, executor)
     graph = pgraph.graph
     strengths = weighted_degrees(graph)
     two_m = float(strengths.sum())
@@ -83,124 +94,170 @@ def local_moving(
         cluster, pgraph, f"{name}_info", variant=variant, value_nbytes=16
     )
     pair_sum = ReduceOp("pair_sum", lambda a, b: (a[0] + b[0], a[1] + b[1]))
-    cluster_map.set_initial(lambda node: int(initial_labels[node]))
-    info_map.set_initial(
-        lambda node: (float(tot_init[node]), int(size_init[node]))
+    executor.init_map(
+        cluster_map, elementwise=lambda node: int(initial_labels[node])
+    )
+    executor.init_map(
+        info_map,
+        elementwise=lambda node: (float(tot_init[node]), int(size_init[node])),
     )
     cluster_map.pin_mirrors(invariant="none")
 
     min_moves = max(int(min_moves_fraction * graph.num_nodes), 1)
-    previous_moves = graph.num_nodes
-    # Stall detection: synchronous moving on stale totals can cycle through
-    # a small set of configurations; the objective (modularity) then stops
-    # improving, which is the principled signal to stop the level.
-    best_quality = -np.inf
-    stalled_rounds = 0
-    rounds = 0
-    while rounds < max_rounds:
-        cluster_map.reset_updated()
-        moves_this_round = [0]
+    # Loop-private host state in one dict so crash recovery can snapshot
+    # and restore it alongside the maps. Stall detection: synchronous
+    # moving on stale totals can cycle through a small set of
+    # configurations; the objective (modularity) then stops improving,
+    # which is the principled signal to stop the level.
+    state: dict = {
+        "round": 0,
+        "parity": 0,
+        "moves": 0,
+        "previous_moves": graph.num_nodes,
+        "best_quality": -np.inf,
+        "stalled": 0,
+    }
 
-        def request_totals(ctx) -> None:
-            own_cluster = cluster_map.read_local(ctx.host, ctx.local)
-            info_map.request(ctx.host, own_cluster)
-            for edge in ctx.edges():
-                neighbor_cluster = cluster_map.read_local(
-                    ctx.host, ctx.edge_dst_local(edge)
-                )
-                info_map.request(ctx.host, neighbor_cluster)
+    def start_round() -> None:
+        # Parity gating: only half the nodes may move each round. The
+        # standard synchronous-Louvain guard (used with coloring in
+        # distributed implementations) against groups of nodes swapping
+        # clusters in lockstep forever on stale totals.
+        state["parity"] = state["round"] % 2
+        state["round"] += 1
+        state["moves"] = 0
 
-        par_for(
-            cluster,
-            pgraph,
-            "masters",
-            request_totals,
-            kind=PhaseKind.REQUEST_COMPUTE,
-            label=f"{name}:req",
-        )
-        info_map.request_sync()
-
-        round_parity = rounds % 2
-
-        def move(ctx) -> None:
-            node = ctx.node
-            # Parity gating: only half the nodes may move each round. The
-            # standard synchronous-Louvain guard (used with coloring in
-            # distributed implementations) against groups of nodes swapping
-            # clusters in lockstep forever on stale totals.
-            if (node ^ round_parity) & 1:
-                return
-            own_cluster = cluster_map.read_local(ctx.host, ctx.local)
-            strength = float(strengths[node])
-            ctx.charge(2)
-            weight_to: dict[int, float] = {}
-            for edge in ctx.edges():
-                dst_local = ctx.edge_dst_local(edge)
-                dst = int(ctx.part.local_to_global[dst_local])
-                if dst == node:
-                    continue  # self-loop weight is choice-invariant
-                neighbor_cluster = cluster_map.read_local(ctx.host, dst_local)
-                weight_to[neighbor_cluster] = (
-                    weight_to.get(neighbor_cluster, 0.0) + ctx.edge_weight(edge)
-                )
-            own_tot, own_size = info_map.read(ctx.host, own_cluster)
-            own_tot -= strength
-            stay_score = (
-                weight_to.get(own_cluster, 0.0) - gamma * own_tot * strength / two_m
+    def request_totals(ctx) -> None:
+        own_cluster = cluster_map.read_local(ctx.host, ctx.local)
+        info_map.request(ctx.host, own_cluster)
+        for edge in ctx.edges():
+            neighbor_cluster = cluster_map.read_local(
+                ctx.host, ctx.edge_dst_local(edge)
             )
-            best_cluster = own_cluster
-            best_score = stay_score
-            for candidate, weight in sorted(weight_to.items()):
-                if candidate == own_cluster:
-                    continue
-                if constraint is not None and constraint[candidate] != constraint[node]:
-                    continue
-                ctx.charge(2)
-                candidate_tot, _ = info_map.read(ctx.host, candidate)
-                score = weight - gamma * candidate_tot * strength / two_m
-                if score > best_score or (
-                    score == best_score and candidate < best_cluster
-                ):
-                    best_cluster = candidate
-                    best_score = score
-            if best_cluster == own_cluster:
-                return
-            if own_size == 1:
-                _, target_size = info_map.read(ctx.host, best_cluster)
-                if target_size == 1 and best_cluster > own_cluster:
-                    # minimum-label heuristic: stops singleton pairs from
-                    # swapping clusters forever under synchronous rounds
-                    return
-            moves_this_round[0] += 1
-            cluster_map.reduce(ctx.host, ctx.thread, node, best_cluster, OVERWRITE)
-            info_map.reduce(ctx.host, ctx.thread, own_cluster, (-strength, -1), pair_sum)
-            info_map.reduce(ctx.host, ctx.thread, best_cluster, (strength, 1), pair_sum)
+            info_map.request(ctx.host, neighbor_cluster)
 
-        par_for(cluster, pgraph, "masters", move, label=f"{name}:move")
-        cluster_map.reduce_sync()
-        cluster_map.broadcast_sync()
-        info_map.reduce_sync()
-        rounds += 1
-        if not cluster_map.is_updated():
-            break
-        if moves_this_round[0] + previous_moves < min_moves:
+    def move(ctx) -> None:
+        node = ctx.node
+        if (node ^ state["parity"]) & 1:
+            return
+        own_cluster = cluster_map.read_local(ctx.host, ctx.local)
+        strength = float(strengths[node])
+        ctx.charge(2)
+        weight_to: dict[int, float] = {}
+        for edge in ctx.edges():
+            dst_local = ctx.edge_dst_local(edge)
+            dst = int(ctx.part.local_to_global[dst_local])
+            if dst == node:
+                continue  # self-loop weight is choice-invariant
+            neighbor_cluster = cluster_map.read_local(ctx.host, dst_local)
+            weight_to[neighbor_cluster] = (
+                weight_to.get(neighbor_cluster, 0.0) + ctx.edge_weight(edge)
+            )
+        own_tot, own_size = info_map.read(ctx.host, own_cluster)
+        own_tot -= strength
+        stay_score = (
+            weight_to.get(own_cluster, 0.0) - gamma * own_tot * strength / two_m
+        )
+        best_cluster = own_cluster
+        best_score = stay_score
+        for candidate, weight in sorted(weight_to.items()):
+            if candidate == own_cluster:
+                continue
+            if constraint is not None and constraint[candidate] != constraint[node]:
+                continue
+            ctx.charge(2)
+            candidate_tot, _ = info_map.read(ctx.host, candidate)
+            score = weight - gamma * candidate_tot * strength / two_m
+            if score > best_score or (
+                score == best_score and candidate < best_cluster
+            ):
+                best_cluster = candidate
+                best_score = score
+        if best_cluster == own_cluster:
+            return
+        if own_size == 1:
+            _, target_size = info_map.read(ctx.host, best_cluster)
+            if target_size == 1 and best_cluster > own_cluster:
+                # minimum-label heuristic: stops singleton pairs from
+                # swapping clusters forever under synchronous rounds
+                return
+        state["moves"] += 1
+        cluster_map.reduce(ctx.host, ctx.thread, node, best_cluster, OVERWRITE)
+        info_map.reduce(ctx.host, ctx.thread, own_cluster, (-strength, -1), pair_sum)
+        info_map.reduce(ctx.host, ctx.thread, best_cluster, (strength, 1), pair_sum)
+
+    def converged() -> bool:
+        # Runs only when the round was not quiescent (the executor checks
+        # quiescence first), mirroring the legacy break order.
+        if state["moves"] + state["previous_moves"] < min_moves:
             # The iteration cutoff every production Louvain uses (two
             # consecutive rounds, since parity gating halves each round);
             # the move count rides the same allreduce as the IsUpdated vote.
-            break
-        previous_moves = moves_this_round[0]
+            return True
+        state["previous_moves"] = state["moves"]
         snapshot = cluster_map.snapshot()
         current = np.asarray(
             [snapshot[node] for node in range(graph.num_nodes)], dtype=np.int64
         )
         quality = modularity(graph, current, gamma)
-        if quality > best_quality + 1e-12:
-            best_quality = quality
-            stalled_rounds = 0
+        if quality > state["best_quality"] + 1e-12:
+            state["best_quality"] = quality
+            state["stalled"] = 0
         else:
-            stalled_rounds += 1
-            if stalled_rounds >= 4:
-                break
+            state["stalled"] += 1
+            if state["stalled"] >= 4:
+                return True
+        return False
+
+    def restore_state(saved) -> None:
+        state.clear()
+        state.update(saved)
+
+    plan = Plan(
+        name=name,
+        pgraph=pgraph,
+        steps=[
+            HostStep(f"{name}:parity", start_round),
+            OperatorStep(
+                Operator(
+                    f"{name}:req",
+                    "masters",
+                    ScalarKernel(
+                        request_totals,
+                        read_names=(cluster_map.name, info_map.name),
+                    ),
+                    kind=PhaseKind.REQUEST_COMPUTE,
+                )
+            ),
+            SyncStep(info_map, "request"),
+            OperatorStep(
+                Operator(
+                    f"{name}:move",
+                    "masters",
+                    ScalarKernel(
+                        move,
+                        read_names=(cluster_map.name, info_map.name),
+                        write_names=(
+                            (cluster_map.name, OVERWRITE.name),
+                            (info_map.name, pair_sum.name),
+                        ),
+                    ),
+                )
+            ),
+            SyncStep(cluster_map, "reduce"),
+            SyncStep(cluster_map, "broadcast"),
+            SyncStep(info_map, "reduce"),
+        ],
+        quiesce=(cluster_map,),
+        converged=converged,
+        maps=(cluster_map, info_map),
+        max_rounds=max_rounds,
+        raise_on_max_rounds=False,
+        loop_label=name,
+        extra_snapshot=lambda: dict(state),
+        extra_restore=restore_state,
+    )
+    rounds = executor.run(plan)
     cluster_map.unpin_mirrors()
     snapshot = cluster_map.snapshot()
     labels = np.asarray(
@@ -217,8 +274,10 @@ def louvain(
     min_gain: float = 1e-6,
     max_rounds_per_level: int = 40,
     max_levels: int = 12,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run deterministic Louvain; values are community ids per original node."""
+    executor = resolve_executor(cluster, executor)
     level_graph = pgraph.graph
     level_pgraph = pgraph
     node_to_coarse = np.arange(level_graph.num_nodes, dtype=np.int64)
@@ -233,6 +292,7 @@ def louvain(
             gamma,
             max_rounds_per_level,
             name=f"lv{levels}",
+            executor=executor,
         )
         total_rounds += rounds
         levels += 1

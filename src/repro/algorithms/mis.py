@@ -19,13 +19,25 @@ round-stamped blocked map is the auxiliary reduction target.
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmResult
+import numpy as np
+
+from repro.algorithms.common import AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
-from repro.core.reducers import MAX, SUM
+from repro.core.reducers import MAX
 from repro.core.variants import RuntimeVariant
+from repro.exec import (
+    DegreeReduce,
+    EdgePush,
+    Executor,
+    HostStep,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for
 
 UNDECIDED = 0
 IN_SET = 1
@@ -38,83 +50,136 @@ def _hash_priority(node: int) -> int:
     return mixed ^ (mixed >> 16)
 
 
+def mis_plan(
+    pgraph: PartitionedGraph,
+    state: NodePropMap,
+    priority: NodePropMap,
+    blocked: NodePropMap,
+) -> Plan:
+    """One blocked/select/exclude round as an operator plan.
+
+    The round counter is a plain closure, deliberately *not* part of the
+    recovery snapshot: stamps are monotone, so stale blocked stamps from
+    before a crash can never equal a replayed round's fresh stamp.
+    """
+    round_number = [-1]
+
+    def bump_round() -> None:
+        round_number[0] += 1
+
+    def mark_blocked(ctx) -> None:
+        if state.read_local(ctx.host, ctx.local) != UNDECIDED:
+            return
+        my_priority = priority.read_local(ctx.host, ctx.local)
+        for edge in ctx.edges():
+            dst_local = ctx.edge_dst_local(edge)
+            if state.read_local(ctx.host, dst_local) != UNDECIDED:
+                continue
+            if priority.read_local(ctx.host, dst_local) > my_priority:
+                blocked.reduce(ctx.host, ctx.thread, ctx.node, round_number[0], MAX)
+                break
+
+    def select(ctx) -> None:
+        if state.read_local(ctx.host, ctx.local) != UNDECIDED:
+            return
+        if blocked.read_local(ctx.host, ctx.local) != round_number[0]:
+            state.reduce(ctx.host, ctx.thread, ctx.node, IN_SET, MAX)
+
+    return Plan(
+        name="mis",
+        pgraph=pgraph,
+        steps=[
+            HostStep("mis:round", bump_round),
+            OperatorStep(
+                Operator(
+                    "mis:blocked",
+                    "all",
+                    ScalarKernel(
+                        mark_blocked,
+                        read_names=(state.name, priority.name),
+                        write_names=((blocked.name, MAX.name),),
+                    ),
+                )
+            ),
+            SyncStep(blocked, "reduce"),
+            OperatorStep(
+                Operator(
+                    "mis:select",
+                    "masters",
+                    ScalarKernel(
+                        select,
+                        read_names=(state.name, blocked.name),
+                        write_names=((state.name, MAX.name),),
+                    ),
+                )
+            ),
+            SyncStep(state, "reduce"),
+            SyncStep(state, "broadcast"),
+            OperatorStep(
+                Operator(
+                    "mis:exclude",
+                    "all",
+                    EdgePush(
+                        target=state,
+                        op=MAX,
+                        source=state,
+                        skip_zero_degree=False,
+                        value_filter=lambda values: values == IN_SET,
+                        const_value=OUT,
+                    ),
+                )
+            ),
+            SyncStep(state, "reduce"),
+            SyncStep(state, "broadcast"),
+        ],
+        quiesce=(state,),
+    )
+
+
 def mis(
     cluster: Cluster,
     pgraph: PartitionedGraph,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
+    executor: Executor | None = None,
 ) -> AlgorithmResult:
     """Run priority MIS; values are IN_SET(1)/OUT(2) states per node."""
+    executor = resolve_executor(cluster, executor)
     # Global degrees: each host SUM-reduces its local out-degree share
     # (under a vertex-cut no single host knows a node's full degree).
     degree = NodePropMap(cluster, pgraph, "mis_degree", variant=variant)
-    degree.set_initial(lambda node: 0)
-
-    def degree_operator(ctx) -> None:
-        local_degree = ctx.part.degree(ctx.local)
-        if local_degree:
-            degree.reduce(ctx.host, ctx.thread, ctx.node, local_degree, SUM)
-
-    par_for(cluster, pgraph, "all", degree_operator, label="mis:deg")
-    degree.reduce_sync()
+    executor.init_map(degree, lambda nodes: np.zeros(nodes.size, dtype=np.int64))
+    executor.run(
+        Plan(
+            name="mis:warmup",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(Operator("mis:deg", "all", DegreeReduce(degree))),
+                SyncStep(degree, "reduce"),
+            ],
+            once=True,
+        )
+    )
     degrees = degree.snapshot()
 
     priority = NodePropMap(
         cluster, pgraph, "mis_priority", variant=variant, value_nbytes=24
     )
-    priority.set_initial(
-        lambda node: (degrees[node], _hash_priority(node), node)
+    executor.init_map(
+        priority,
+        elementwise=lambda node: (degrees[node], _hash_priority(node), node),
     )
     priority.pin_mirrors(invariant="none")
 
     state = NodePropMap(cluster, pgraph, "mis_state", variant=variant)
-    state.set_initial(lambda node: UNDECIDED)
+    executor.init_map(
+        state, lambda nodes: np.full(nodes.size, UNDECIDED, dtype=np.int64)
+    )
     state.pin_mirrors(invariant="none")
 
     blocked = NodePropMap(cluster, pgraph, "mis_blocked", variant=variant)
-    blocked.set_initial(lambda node: -1)
+    executor.init_map(blocked, lambda nodes: np.full(nodes.size, -1, dtype=np.int64))
 
-    round_number = [0]
-
-    def round_body() -> None:
-        this_round = round_number[0]
-        round_number[0] += 1
-
-        def mark_blocked(ctx) -> None:
-            if state.read_local(ctx.host, ctx.local) != UNDECIDED:
-                return
-            my_priority = priority.read_local(ctx.host, ctx.local)
-            for edge in ctx.edges():
-                dst_local = ctx.edge_dst_local(edge)
-                if state.read_local(ctx.host, dst_local) != UNDECIDED:
-                    continue
-                if priority.read_local(ctx.host, dst_local) > my_priority:
-                    blocked.reduce(ctx.host, ctx.thread, ctx.node, this_round, MAX)
-                    break
-
-        par_for(cluster, pgraph, "all", mark_blocked, label="mis:blocked")
-        blocked.reduce_sync()
-
-        def select(ctx) -> None:
-            if state.read_local(ctx.host, ctx.local) != UNDECIDED:
-                return
-            if blocked.read_local(ctx.host, ctx.local) != this_round:
-                state.reduce(ctx.host, ctx.thread, ctx.node, IN_SET, MAX)
-
-        par_for(cluster, pgraph, "masters", select, label="mis:select")
-        state.reduce_sync()
-        state.broadcast_sync()
-
-        def exclude(ctx) -> None:
-            if state.read_local(ctx.host, ctx.local) != IN_SET:
-                return
-            for edge in ctx.edges():
-                state.reduce(ctx.host, ctx.thread, ctx.edge_dst(edge), OUT, MAX)
-
-        par_for(cluster, pgraph, "all", exclude, label="mis:exclude")
-        state.reduce_sync()
-        state.broadcast_sync()
-
-    rounds = kimbap_while(state, round_body)
+    rounds = executor.run(mis_plan(pgraph, state, priority, blocked))
     state.unpin_mirrors()
     priority.unpin_mirrors()
     values = state.snapshot()

@@ -11,10 +11,10 @@ Under vertex cuts a node's out-degree spans hosts, so the global degrees
 are themselves computed by a SUM reduction first - the same warm-up as
 MIS and k-core.
 
-``bulk=True`` runs the vectorized execution path (``par_for_bulk`` +
-``reduce_bulk``): the same operators expressed over whole iteration-set
-arrays, with byte-identical counters, modeled time, and rank values (the
-scalar path stays as the reference implementation and equivalence oracle).
+The whole round is one ``repro.exec`` plan (warm-up, push, dangling
+redistribution, rebuild, delta check); the executor picks the scalar or
+vectorized backend with byte-identical counters, modeled time, and rank
+values.
 """
 
 from __future__ import annotations
@@ -23,14 +23,24 @@ import math
 
 import numpy as np
 
-from repro.algorithms.common import OVERWRITE, AlgorithmResult
+from repro.algorithms.common import OVERWRITE, AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import SUM
 from repro.core.variants import RuntimeVariant
-from repro.faults.recovery import run_recoverable_loop
+from repro.exec import (
+    DegreeReduce,
+    EdgePush,
+    Executor,
+    HostStep,
+    NodeUpdate,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResetStep,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import par_for, par_for_bulk
 
 
 def pagerank(
@@ -40,9 +50,11 @@ def pagerank(
     tolerance: float = 1e-9,
     max_rounds: int = 100,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
-    bulk: bool = False,
+    executor: Executor | None = None,
+    bulk: bool | None = None,
 ) -> AlgorithmResult:
     """Compute PageRank; values sum to 1 over all nodes."""
+    executor = resolve_executor(cluster, executor, bulk, "pagerank")
     if not 0 < damping < 1:
         raise ValueError("damping must be in (0, 1)")
     num_nodes = pgraph.num_nodes
@@ -50,171 +62,107 @@ def pagerank(
         return AlgorithmResult(name="PR", values={}, rounds=0)
 
     degree = NodePropMap(cluster, pgraph, "pr_degree", variant=variant)
-    if bulk:
-        degree.set_initial_bulk(lambda nodes: np.zeros(nodes.size, dtype=np.int64))
-
-        def degree_operator_bulk(ctx) -> None:
-            degs = ctx.degrees()
-            sel = np.flatnonzero(degs > 0)
-            if sel.size:
-                degree.reduce_bulk(
-                    ctx.host, ctx.threads[sel], ctx.node_ids[sel], degs[sel], SUM
-                )
-
-        par_for_bulk(cluster, pgraph, "all", degree_operator_bulk, label="pr:deg")
-    else:
-        degree.set_initial(lambda node: 0)
-
-        def degree_operator(ctx) -> None:
-            local_degree = ctx.part.degree(ctx.local)
-            if local_degree:
-                degree.reduce(ctx.host, ctx.thread, ctx.node, local_degree, SUM)
-
-        par_for(cluster, pgraph, "all", degree_operator, label="pr:deg")
-    degree.reduce_sync()
-    if bulk:
-        degrees_arr = degree.snapshot_array()
-    else:
-        degrees = degree.snapshot()
+    executor.init_map(degree, lambda nodes: np.zeros(nodes.size, dtype=np.int64))
+    executor.run(
+        Plan(
+            name="pr:warmup",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(Operator("pr:deg", "all", DegreeReduce(degree))),
+                SyncStep(degree, "reduce"),
+            ],
+            once=True,
+        )
+    )
+    degrees = degree.snapshot_array()
 
     rank = NodePropMap(cluster, pgraph, "pr_rank", variant=variant)
-    if bulk:
-        rank.set_initial_bulk(lambda nodes: np.full(nodes.size, 1.0 / num_nodes))
-    else:
-        rank.set_initial(lambda node: 1.0 / num_nodes)
+    executor.init_map(rank, lambda nodes: np.full(nodes.size, 1.0 / num_nodes))
     rank.pin_mirrors(invariant="none")
     contribution = NodePropMap(cluster, pgraph, "pr_contrib", variant=variant)
 
     base = (1.0 - damping) / num_nodes
     # Loop-private state lives in one dict so crash recovery can snapshot
     # and restore it alongside the maps (the recoverable-loop contract).
-    state: dict = {
-        "previous": (
-            np.full(num_nodes, 1.0 / num_nodes)
-            if bulk
-            else {node: 1.0 / num_nodes for node in range(num_nodes)}
-        ),
-        "delta": math.inf,
-    }
+    state: dict = {"previous": np.full(num_nodes, 1.0 / num_nodes), "delta": math.inf}
 
-    def round_body() -> None:
-        contribution.reset_values(lambda node: 0.0)
-        previous = state["previous"]
-
-        def push(ctx) -> None:
-            local_degree = ctx.part.degree(ctx.local)
-            if local_degree == 0:
-                return
-            node_rank = rank.read_local(ctx.host, ctx.local)
-            share = damping * node_rank / degrees[ctx.node]
-            ctx.charge(2)
-            for edge in ctx.edges():
-                contribution.reduce(
-                    ctx.host, ctx.thread, ctx.edge_dst(edge), share, SUM
-                )
-
-        par_for(cluster, pgraph, "all", push, label="pr:push")
-        contribution.reduce_sync()
-
+    def redistribute_dangling() -> None:
         # Dangling nodes' mass redistributes uniformly (host-side scalar,
         # one allreduce worth of traffic rides the contribution sync).
-        dangling = sum(
-            previous[node] for node in range(num_nodes) if degrees[node] == 0
-        )
-        uniform = base + damping * dangling / num_nodes
+        dangling = sum(state["previous"][degrees == 0].tolist())
+        state["uniform"] = base + damping * dangling / num_nodes
+        state["contributions"] = contribution.snapshot_array()
 
-        contributions = contribution.snapshot()
-
-        def rebuild(ctx) -> None:
-            new_rank = uniform + contributions.get(ctx.node, 0.0)
-            ctx.charge(2)
-            rank.reduce(ctx.host, ctx.thread, ctx.node, new_rank, OVERWRITE)
-
-        par_for(cluster, pgraph, "masters", rebuild, label="pr:rebuild")
-        rank.reduce_sync()
-        rank.broadcast_sync()
-
-        current = rank.snapshot()
-        state["delta"] = sum(
-            abs(current[node] - previous[node]) for node in range(num_nodes)
-        )
-        state["previous"] = current
-
-    def round_body_bulk() -> None:
-        contribution.reset_values_bulk(lambda nodes: np.zeros(nodes.size))
-        previous = state["previous"]
-
-        def push(ctx) -> None:
-            degs = ctx.degrees()
-            sel = np.flatnonzero(degs > 0)
-            if sel.size == 0:
-                return
-            ranks = rank.read_local_bulk(ctx.host, ctx.local_ids[sel])
-            shares = damping * ranks / degrees_arr[ctx.node_ids[sel]]
-            ctx.charge(int(2 * sel.size))
-            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
-            if edge_ids.size:
-                contribution.reduce_bulk(
-                    ctx.host,
-                    ctx.threads[sel][source_pos],
-                    ctx.edge_dst(edge_ids),
-                    shares[source_pos],
-                    SUM,
-                )
-
-        par_for_bulk(cluster, pgraph, "all", push, label="pr:push")
-        contribution.reduce_sync()
-
-        dangling = sum(previous[degrees_arr == 0].tolist())
-        uniform = base + damping * dangling / num_nodes
-
-        contributions = contribution.snapshot_array()
-
-        def rebuild(ctx) -> None:
-            new_ranks = uniform + contributions[ctx.node_ids]
-            ctx.charge(int(2 * ctx.node_ids.size))
-            rank.reduce_bulk(ctx.host, ctx.threads, ctx.node_ids, new_ranks, OVERWRITE)
-
-        par_for_bulk(cluster, pgraph, "masters", rebuild, label="pr:rebuild")
-        rank.reduce_sync()
-        rank.broadcast_sync()
-
+    def update_delta() -> None:
         current = rank.snapshot_array()
-        state["delta"] = sum(np.abs(current - previous).tolist())
+        state["delta"] = sum(np.abs(current - state["previous"]).tolist())
         state["previous"] = current
 
     def restore_state(saved) -> None:
         state.clear()
         state.update(saved)
 
-    # PR historically attributes all loop phases to round 0 (no
-    # advance_round); keep that, while still gaining checkpoint/recovery.
-    rounds = run_recoverable_loop(
-        cluster,
-        [rank, contribution],
-        round_body_bulk if bulk else round_body,
+    plan = Plan(
+        name="pagerank",
+        pgraph=pgraph,
+        steps=[
+            ResetStep(contribution, lambda nodes: np.zeros(nodes.size)),
+            OperatorStep(
+                Operator(
+                    "pr:push",
+                    "all",
+                    EdgePush(
+                        target=contribution,
+                        op=SUM,
+                        source=rank,
+                        charge_per_source=2,
+                        transform=lambda values, nodes: (
+                            damping * values / degrees[nodes]
+                        ),
+                    ),
+                )
+            ),
+            SyncStep(contribution, "reduce"),
+            HostStep("pr:dangling", redistribute_dangling),
+            OperatorStep(
+                Operator(
+                    "pr:rebuild",
+                    "masters",
+                    NodeUpdate(
+                        target=rank,
+                        op=OVERWRITE,
+                        value=lambda nodes: (
+                            state["uniform"] + state["contributions"][nodes]
+                        ),
+                        charge_per_node=2,
+                        read_names=("pr_contrib",),
+                    ),
+                )
+            ),
+            SyncStep(rank, "reduce"),
+            SyncStep(rank, "broadcast"),
+            HostStep("pr:delta", update_delta),
+        ],
         converged=lambda: state["delta"] < tolerance,
+        maps=(rank, contribution),
         max_rounds=max_rounds,
+        # PR historically attributes all loop phases to round 0 (no
+        # advance_round); keep that, while still being recoverable.
         advance_rounds=False,
+        raise_on_max_rounds=False,
+        loop_label="pagerank",
         extra_snapshot=lambda: dict(state),
         extra_restore=restore_state,
     )
+    rounds = executor.run(plan)
     rank.unpin_mirrors()
-    if bulk:
-        # The snapshot dict (same content and iteration order as the scalar
-        # path's final in-loop snapshot) is the returned value mapping.
-        if rounds:
-            previous = rank.snapshot()
-        else:
-            previous = {
-                node: value
-                for node, value in enumerate(state["previous"].tolist())
-            }
+    if rounds:
+        values = rank.snapshot()
     else:
-        previous = state["previous"]
+        values = {node: value for node, value in enumerate(state["previous"].tolist())}
     return AlgorithmResult(
         name="PR",
-        values=previous,
+        values=values,
         rounds=rounds,
-        stats={"delta": state["delta"], "mass": sum(previous.values())},
+        stats={"delta": state["delta"], "mass": sum(values.values())},
     )

@@ -15,15 +15,46 @@ import math
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmResult
+from repro.algorithms.common import AlgorithmResult, resolve_executor
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
+from repro.exec import EdgePush, Executor, Operator, OperatorStep, Plan, SyncStep
 from repro.partition.base import PartitionedGraph
-from repro.runtime.engine import kimbap_while, par_for, par_for_bulk
 
 UNREACHED = math.inf
+
+
+def sssp_plan(
+    pgraph: PartitionedGraph, dist: NodePropMap, unit_weights: bool = False
+) -> Plan:
+    """One Bellman-Ford relaxation round as an operator plan."""
+    return Plan(
+        name="sssp",
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator(
+                    "sssp",
+                    "all",
+                    EdgePush(
+                        target=dist,
+                        op=MIN,
+                        source=dist,
+                        require_active=dist,
+                        charge_per_source=1,
+                        value_filter=lambda values: values != UNREACHED,
+                        with_weight="add",
+                        unit_weights=unit_weights,
+                    ),
+                )
+            ),
+            SyncStep(dist, "reduce"),
+            SyncStep(dist, "broadcast"),
+        ],
+        quiesce=(dist,),
+    )
 
 
 def sssp(
@@ -32,75 +63,17 @@ def sssp(
     source: int = 0,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
     unit_weights: bool = False,
-    bulk: bool = False,
+    executor: Executor | None = None,
+    bulk: bool | None = None,
 ) -> AlgorithmResult:
     """Single-source shortest paths; values are distances (inf = unreached)."""
+    executor = resolve_executor(cluster, executor, bulk, "sssp")
     if not 0 <= source < pgraph.num_nodes:
         raise ValueError(f"source {source} out of range")
     dist = NodePropMap(cluster, pgraph, "sssp_dist", variant=variant)
-    if bulk:
-        dist.set_initial_bulk(lambda nodes: np.where(nodes == source, 0.0, UNREACHED))
-    else:
-        dist.set_initial(lambda node: 0.0 if node == source else UNREACHED)
+    executor.init_map(dist, lambda nodes: np.where(nodes == source, 0.0, UNREACHED))
     dist.pin_mirrors(invariant="none")
-
-    def round_body() -> None:
-        def relax(ctx) -> None:
-            if ctx.part.degree(ctx.local) == 0:
-                return
-            ctx.charge(1)
-            if not dist.is_active(ctx.host, ctx.node):
-                return
-            my_dist = dist.read_local(ctx.host, ctx.local)
-            if my_dist == UNREACHED:
-                return
-            for edge in ctx.edges():
-                weight = 1.0 if unit_weights else ctx.edge_weight(edge)
-                dist.reduce(
-                    ctx.host, ctx.thread, ctx.edge_dst(edge), my_dist + weight, MIN
-                )
-
-        par_for(cluster, pgraph, "all", relax, label="sssp")
-        dist.reduce_sync()
-        dist.broadcast_sync()
-
-    def round_body_bulk() -> None:
-        def relax(ctx) -> None:
-            degs = ctx.degrees()
-            sel = np.flatnonzero(degs > 0)
-            if sel.size == 0:
-                return
-            ctx.charge(int(sel.size))
-            sel = sel[dist.is_active_bulk(ctx.host, ctx.node_ids[sel])]
-            if sel.size == 0:
-                return
-            dists = dist.read_local_bulk(ctx.host, ctx.local_ids[sel])
-            reachable = dists != UNREACHED
-            sel = sel[reachable]
-            dists = dists[reachable]
-            if sel.size == 0:
-                return
-            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
-            if edge_ids.size == 0:
-                return
-            weights = (
-                np.ones(edge_ids.size, dtype=np.float64)
-                if unit_weights
-                else ctx.edge_weights(edge_ids)
-            )
-            dist.reduce_bulk(
-                ctx.host,
-                ctx.threads[sel][source_pos],
-                ctx.edge_dst(edge_ids),
-                dists[source_pos] + weights,
-                MIN,
-            )
-
-        par_for_bulk(cluster, pgraph, "all", relax, label="sssp")
-        dist.reduce_sync()
-        dist.broadcast_sync()
-
-    rounds = kimbap_while(dist, round_body_bulk if bulk else round_body)
+    rounds = executor.run(sssp_plan(pgraph, dist, unit_weights=unit_weights))
     dist.unpin_mirrors()
     values = dist.snapshot()
     reached = sum(1 for v in values.values() if v != UNREACHED)
@@ -117,11 +90,18 @@ def bfs(
     pgraph: PartitionedGraph,
     source: int = 0,
     variant: RuntimeVariant = RuntimeVariant.KIMBAP,
-    bulk: bool = False,
+    executor: Executor | None = None,
+    bulk: bool | None = None,
 ) -> AlgorithmResult:
     """BFS levels from ``source``: unit-weight SSSP with integer levels."""
+    executor = resolve_executor(cluster, executor, bulk, "bfs")
     result = sssp(
-        cluster, pgraph, source=source, variant=variant, unit_weights=True, bulk=bulk
+        cluster,
+        pgraph,
+        source=source,
+        variant=variant,
+        unit_weights=True,
+        executor=executor,
     )
     levels = {
         node: (int(value) if value != UNREACHED else UNREACHED)

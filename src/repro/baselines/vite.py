@@ -30,7 +30,6 @@ import numpy as np
 from repro.algorithms.common import AlgorithmResult, coarsen, modularity, weighted_degrees
 from repro.cluster.cluster import Cluster, static_thread
 from repro.cluster.metrics import PhaseKind
-from repro.graph.csr import Graph
 from repro.partition.base import PartitionedGraph
 from repro.partition.policies import partition
 

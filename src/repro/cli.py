@@ -20,12 +20,16 @@ import json
 import sys
 from typing import Sequence
 
+from repro.cluster import Cluster
 from repro.core.variants import RuntimeVariant
-from repro.eval.harness import KIMBAP_APPS, run_galois, run_kimbap, run_vite
+from repro.eval.harness import APP_POLICY, KIMBAP_APPS, run_galois, run_kimbap, run_vite
 from repro.eval.reporting import format_phase_breakdown, format_table
 from repro.eval.workloads import GRAPHS, load_graph
+from repro.exec import PLAN_SCHEMA, Executor, format_plan_summary, plan_summary
 from repro.faults import NAMED_PLANS, named_plan
+from repro.graph import generators
 from repro.graph.stats import compute_stats
+from repro.partition import partition
 from repro.trace import top_phases, write_chrome_trace
 from repro.verify import VerificationError, check_equivalent_values
 
@@ -221,6 +225,42 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Print the operator plan(s) one application executes.
+
+    The application runs once on a tiny built-in graph with an observing
+    executor; every distinct plan handed to ``Executor.run`` is reported,
+    so the output is the real executed plan set, not a static description.
+    """
+    graph = generators.road_like(4, 3, seed=1, weighted=True)
+    hosts = 2
+    pgraph = partition(graph, hosts, APP_POLICY[args.app])
+    cluster = Cluster(hosts, threads_per_host=2)
+    summaries: list[dict] = []
+    seen: set[str] = set()
+
+    def observe(plan) -> None:
+        summary = plan_summary(plan)
+        key = json.dumps(summary, sort_keys=True)
+        if key not in seen:
+            seen.add(key)
+            summaries.append(summary)
+
+    executor = Executor(cluster, observer=observe)
+    KIMBAP_APPS[args.app](cluster, pgraph, executor=executor)
+    if args.json:
+        print(
+            json.dumps(
+                {"schema": PLAN_SCHEMA, "app": args.app, "plans": summaries},
+                indent=1,
+            )
+        )
+    else:
+        for summary in summaries:
+            print(format_plan_summary(summary))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Kimbap reproduction command line"
@@ -308,6 +348,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the faulted RunResult JSON here"
     )
     faults.set_defaults(fn=cmd_faults)
+
+    plan = sub.add_parser(
+        "plan",
+        help="print the operator plan(s) an application executes "
+        "(text, or --json for the repro-exec-plan/v1 schema)",
+    )
+    plan.add_argument("app", choices=sorted(KIMBAP_APPS))
+    plan.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    plan.set_defaults(fn=cmd_plan)
     return parser
 
 

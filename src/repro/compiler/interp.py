@@ -34,10 +34,12 @@ from repro.compiler.ir import (
     Stmt,
     Var,
 )
+from repro.compiler.ir import walk
 from repro.core.propmap import NodePropMap
+from repro.exec import Executor, Operator, OperatorStep, Plan, ScalarKernel, SyncStep
 from repro.partition.base import PartitionedGraph
 from repro.runtime.bool_reducer import BoolReducer
-from repro.runtime.engine import OperatorContext, par_for
+from repro.runtime.engine import OperatorContext
 
 _BINOPS = {
     "+": operator.add,
@@ -158,6 +160,93 @@ class _Executor:
                 raise TypeError(f"unknown statement {stmt!r}")
 
 
+def _body_reads_writes(
+    body: tuple[Stmt, ...],
+) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]]:
+    """Derive ScalarKernel reads/writes metadata by walking the IR."""
+    reads: list[str] = []
+    writes: list[tuple[str, str]] = []
+    for stmt in walk(body):
+        if isinstance(stmt, (MapRead, MapRequest)) and stmt.map not in reads:
+            reads.append(stmt.map)
+        elif isinstance(stmt, MapReduce) and (stmt.map, stmt.op.name) not in writes:
+            writes.append((stmt.map, stmt.op.name))
+        elif isinstance(stmt, MapSet) and (stmt.map, "set") not in writes:
+            writes.append((stmt.map, "set"))
+        elif isinstance(stmt, ReducerReduce) and (stmt.reducer, "bool_or") not in writes:
+            writes.append((stmt.reducer, "bool_or"))
+    return tuple(reads), tuple(writes)
+
+
+def build_plan(
+    loop: CompiledLoop,
+    pgraph: PartitionedGraph,
+    maps: Mapping[str, NodePropMap],
+    reducers: Mapping[str, BoolReducer] | None = None,
+    extern: Mapping[str, Any] | None = None,
+    once: bool = False,
+    max_rounds: int = 100000,
+) -> Plan:
+    """Lower a compiled loop onto the operator-plan layer.
+
+    Every statement body becomes a :class:`ScalarKernel` operator (the
+    interpreter walks the IR per node, so both executor backends run the
+    same reference loop); phase structure, sync collectives, and the
+    quiescence driver map 1:1 onto plan steps, which is what gives
+    compiled programs the same metering/trace/fault semantics as the
+    hand-written algorithm plans.
+    """
+    interp = _Executor(None, pgraph, maps, reducers, extern)
+
+    def kernel_for(par_for_ir) -> ScalarKernel:
+        reads, writes = _body_reads_writes(par_for_ir.body)
+        return ScalarKernel(
+            lambda ctx, body=par_for_ir.body: interp.run_body(body, ctx, {}),
+            read_names=reads,
+            write_names=writes,
+        )
+
+    steps: list = []
+    for phase in loop.request_phases:
+        steps.append(
+            OperatorStep(
+                Operator(
+                    f"{loop.name}:req:{'+'.join(phase.maps)}",
+                    phase.par_for.iterator if phase.par_for.iterator == "masters" else "all",
+                    kernel_for(phase.par_for),
+                    kind=PhaseKind.REQUEST_COMPUTE,
+                )
+            )
+        )
+        for map_name in phase.maps:
+            steps.append(SyncStep(maps[map_name], "request"))
+    steps.append(
+        OperatorStep(
+            Operator(
+                loop.name,
+                loop.body.iterator if loop.body.iterator == "masters" else "all",
+                kernel_for(loop.body),
+            )
+        )
+    )
+    for map_name in loop.reduce_maps:
+        steps.append(SyncStep(maps[map_name], "reduce"))
+    for map_name in loop.reduce_maps:
+        # No-op unless the map is currently pinned; checked at runtime so
+        # composed apps that pin around a multi-operator loop still get
+        # their mirrors refreshed after every reduce.
+        steps.append(SyncStep(maps[map_name], "broadcast"))
+    return Plan(
+        name=f"compiled:{loop.name}",
+        pgraph=pgraph,
+        steps=steps,
+        quiesce=tuple(maps[m] for m in loop.quiesce_maps),
+        max_rounds=max_rounds,
+        once=once,
+        loop_label=f"compiled:{loop.name}",
+    )
+
+
 def run_round(
     loop: CompiledLoop,
     cluster: Cluster,
@@ -165,35 +254,12 @@ def run_round(
     maps: Mapping[str, NodePropMap],
     reducers: Mapping[str, BoolReducer] | None = None,
     extern: Mapping[str, Any] | None = None,
+    executor: Executor | None = None,
 ) -> None:
     """Execute one BSP round of a compiled loop (no quiescence handling)."""
-    executor = _Executor(cluster, pgraph, maps, reducers, extern)
-    for phase in loop.request_phases:
-        par_for(
-            cluster,
-            pgraph,
-            phase.par_for.iterator if phase.par_for.iterator == "masters" else "all",
-            lambda ctx: executor.run_body(phase.par_for.body, ctx, {}),
-            kind=PhaseKind.REQUEST_COMPUTE,
-            label=f"{loop.name}:req:{'+'.join(phase.maps)}",
-        )
-        for map_name in phase.maps:
-            executor.maps[map_name].request_sync()
-    par_for(
-        cluster,
-        pgraph,
-        loop.body.iterator if loop.body.iterator == "masters" else "all",
-        lambda ctx: executor.run_body(loop.body.body, ctx, {}),
-        kind=PhaseKind.REDUCE_COMPUTE,
-        label=loop.name,
-    )
-    for map_name in loop.reduce_maps:
-        executor.maps[map_name].reduce_sync()
-    for map_name in loop.reduce_maps:
-        # No-op unless the map is currently pinned; checked at runtime so
-        # composed apps that pin around a multi-operator loop still get
-        # their mirrors refreshed after every reduce.
-        executor.maps[map_name].broadcast_sync()
+    if executor is None:
+        executor = Executor(cluster)
+    executor.run(build_plan(loop, pgraph, maps, reducers, extern, once=True))
 
 
 def run_compiled(
@@ -205,21 +271,22 @@ def run_compiled(
     extern: Mapping[str, Any] | None = None,
     manage_pins: bool = True,
     max_rounds: int = 100000,
+    executor: Executor | None = None,
 ) -> int:
-    """Run a compiled loop to quiescence; returns the number of BSP rounds."""
+    """Run a compiled loop to quiescence; returns the number of BSP rounds.
+
+    Quiescence, round advancement, checkpoint/recovery, and non-quiescence
+    handling (``NonQuiescenceError``, a ``RuntimeError`` subclass) all come
+    from the shared plan executor.
+    """
+    if executor is None:
+        executor = Executor(cluster)
     if manage_pins:
         for map_name, invariant in loop.pinned.items():
             maps[map_name].pin_mirrors(invariant=invariant)
-    rounds = 0
-    while True:
-        for map_name in loop.quiesce_maps:
-            maps[map_name].reset_updated()
-        run_round(loop, cluster, pgraph, maps, reducers, extern)
-        rounds += 1
-        if not any(maps[m].is_updated() for m in loop.quiesce_maps):
-            break
-        if rounds >= max_rounds:
-            raise RuntimeError(f"compiled loop {loop.name} did not quiesce")
+    rounds = executor.run(
+        build_plan(loop, pgraph, maps, reducers, extern, max_rounds=max_rounds)
+    )
     if manage_pins:
         for map_name in loop.pinned:
             maps[map_name].unpin_mirrors()

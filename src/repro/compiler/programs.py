@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.compiler.ir import (
     ActiveNode,
+    Assign,
     BinOp,
     Const,
     EdgeDst,
@@ -24,7 +25,8 @@ from repro.compiler.ir import (
     Var,
     stmts,
 )
-from repro.core.reducers import MAX, MIN
+from repro.algorithms.common import OVERWRITE
+from repro.core.reducers import MAX, MIN, SUM
 
 
 def cc_sv_hook() -> KimbapWhile:
@@ -188,6 +190,65 @@ def mis_exclude() -> KimbapWhile:
     return KimbapWhile(("state",), ParFor(body), name="mis_exclude")
 
 
+# PageRank round operators. The outer power iteration (dangling-mass
+# redistribution and the L1-delta convergence test) is host code, exactly
+# like the hand-written kernel; ``damping`` and ``uniform`` are external
+# constants bound per run / per round.
+
+
+def pr_degree() -> KimbapWhile:
+    """Warm-up: SUM-reduce each proxy's local out-degree onto its master."""
+    body = stmts(
+        Assign("count", Const(0)),
+        ForEdges("edge", stmts(Assign("count", BinOp("+", Var("count"), Const(1))))),
+        If(
+            BinOp(">", Var("count"), Const(0)),
+            stmts(MapReduce("degree", ActiveNode(), Var("count"), SUM)),
+        ),
+    )
+    return KimbapWhile(("degree",), ParFor(body), name="pr_degree")
+
+
+def pr_push() -> KimbapWhile:
+    """Push ``damping * rank / degree`` to every neighbor (SUM)."""
+    body = stmts(
+        MapRead("rank_value", "rank", ActiveNode()),
+        MapRead("degree_value", "degree", ActiveNode()),
+        If(
+            BinOp(">", Var("degree_value"), Const(0)),
+            stmts(
+                Assign(
+                    "share",
+                    BinOp(
+                        "/",
+                        BinOp("*", Var("damping"), Var("rank_value")),
+                        Var("degree_value"),
+                    ),
+                ),
+                ForEdges(
+                    "edge",
+                    stmts(MapReduce("contribution", EdgeDst("edge"), Var("share"), SUM)),
+                ),
+            ),
+        ),
+    )
+    return KimbapWhile(("contribution",), ParFor(body), name="pr_push")
+
+
+def pr_rebuild() -> KimbapWhile:
+    """Owner rebuild: ``rank = uniform + contribution`` (no edge access)."""
+    body = stmts(
+        MapRead("contribution_value", "contribution", ActiveNode()),
+        MapReduce(
+            "rank",
+            ActiveNode(),
+            BinOp("+", Var("uniform"), Var("contribution_value")),
+            OVERWRITE,
+        ),
+    )
+    return KimbapWhile(("rank",), ParFor(body, iterator="masters"), name="pr_rebuild")
+
+
 ALL_PROGRAMS = {
     "hook": cc_sv_hook,
     "shortcut": cc_sv_shortcut,
@@ -197,4 +258,7 @@ ALL_PROGRAMS = {
     "mis_blocked": mis_blocked,
     "mis_select": mis_select,
     "mis_exclude": mis_exclude,
+    "pr_degree": pr_degree,
+    "pr_push": pr_push,
+    "pr_rebuild": pr_rebuild,
 }

@@ -40,6 +40,7 @@ from repro.cluster.cluster import SimulatedOutOfMemory
 from repro.cluster.metrics import PhaseKind
 from repro.core.variants import RuntimeVariant
 from repro.eval.workloads import load_graph
+from repro.exec import Executor
 from repro.faults import FaultPlan, install_faults
 from repro.graph.csr import Graph
 from repro.partition import partition
@@ -265,9 +266,14 @@ def run_kimbap(
     graph: Graph | None = None,
     fault_plan: FaultPlan | None = None,
     memory_limit_slots: int | None = None,
+    bulk: bool = False,
     **kwargs: Any,
 ) -> RunResult:
     """Run a Kimbap application on the simulated cluster.
+
+    ``bulk`` selects the executor backend (scalar reference vs vectorized
+    bulk) for the whole run - the backend is an executor property, not a
+    per-algorithm flag, so every application supports it.
 
     With a ``fault_plan``, the run executes under deterministic fault
     injection (``repro.faults``) and the result carries the structured
@@ -284,9 +290,12 @@ def run_kimbap(
     injector = None
     if fault_plan is not None:
         injector = install_faults(cluster, fault_plan)
+    executor = Executor(cluster, bulk=bulk)
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:
-        result = KIMBAP_APPS[app](cluster, pgraph, variant=variant, **kwargs)
+        result = KIMBAP_APPS[app](
+            cluster, pgraph, variant=variant, executor=executor, **kwargs
+        )
     except SimulatedOutOfMemory as oom:
         run = _failed(
             label,

@@ -1,0 +1,44 @@
+"""repro.exec: the unified operator-plan execution layer.
+
+Algorithms are written once as declarative :class:`Plan` objects
+(operator specs + a loop/convergence driver); a single :class:`Executor`
+dispatches each plan to the scalar reference backend or the vectorized
+bulk backend with byte-identical metrics, and hosts the shared
+checkpoint/recovery and trace/profile wiring.
+"""
+
+from repro.exec.executor import Executor
+from repro.exec.plan import (
+    PLAN_SCHEMA,
+    DegreeReduce,
+    EdgePush,
+    HostStep,
+    NodeUpdate,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResetStep,
+    ScalarKernel,
+    SyncStep,
+    format_plan_summary,
+    operator_summary,
+    plan_summary,
+)
+
+__all__ = [
+    "Executor",
+    "PLAN_SCHEMA",
+    "DegreeReduce",
+    "EdgePush",
+    "HostStep",
+    "NodeUpdate",
+    "Operator",
+    "OperatorStep",
+    "Plan",
+    "ResetStep",
+    "ScalarKernel",
+    "SyncStep",
+    "format_plan_summary",
+    "operator_summary",
+    "plan_summary",
+]

@@ -1,0 +1,361 @@
+"""The plan executor: one algorithm spec, two execution backends.
+
+``Executor`` runs :class:`repro.exec.plan.Plan` objects. Construction
+picks the backend: ``bulk=False`` executes operator kernels with the
+scalar reference ``par_for`` loops, ``bulk=True`` with the vectorized
+``par_for_bulk`` array kernels. Both interpretations of each declarative
+kernel form live here, side by side, and follow the same canonical
+metering pipeline, so an algorithm expressed once as a plan is
+byte-identical across backends (counters, conflicts, modeled seconds,
+values) - the contract ``tests/test_bulk_equivalence.py`` enforces for
+all twelve algorithms.
+
+:class:`~repro.exec.plan.ScalarKernel` bodies run as the same scalar
+loop on both backends (the way the MC runtime variant degrades to the
+scalar path by design): byte-identity is structural, and such kernels
+opt into vectorization by being rewritten as one of the array forms.
+
+Loops run through ``repro.faults.run_recoverable_loop``, so every plan -
+not just PageRank's tolerance loop - gets checkpoint/recovery when a
+fault injector is installed, and round/operator trace attribution for
+free. Without an injector the driver is exactly the legacy loop (zero
+overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import SUM
+from repro.exec.plan import (
+    DegreeReduce,
+    EdgePush,
+    HostStep,
+    NodeUpdate,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResetStep,
+    ScalarKernel,
+    SyncStep,
+)
+from repro.faults.recovery import run_recoverable_loop
+from repro.runtime.engine import (
+    BulkOperatorContext,
+    NonQuiescenceError,
+    OperatorContext,
+    par_for,
+    par_for_bulk,
+)
+
+
+def _scalar(value: Any) -> Any:
+    """Strip numpy wrappers so the scalar backend stores the same plain
+    Python scalars the hand-written reference kernels did."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value.item()
+    return value
+
+
+def _elementwise(values: Callable[[np.ndarray], Any]) -> Callable[[int], Any]:
+    """Derive the per-node form of an array-style value function."""
+
+    def one(node: int) -> Any:
+        return _scalar(np.asarray(values(np.asarray([node], dtype=np.int64)))[0])
+
+    return one
+
+
+class Executor:
+    """Dispatches operator plans to the scalar or bulk backend."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bulk: bool = False,
+        observer: Callable[[Plan], None] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.bulk = bool(bulk)
+        self.observer = observer
+
+    # ------------------------------------------------------ map lifecycle
+
+    def init_map(
+        self,
+        prop: NodePropMap,
+        values: Callable[[np.ndarray], np.ndarray] | None = None,
+        *,
+        elementwise: Callable[[int], Any] | None = None,
+    ) -> None:
+        """Backend-dispatched ``set_initial``: array-style ``values`` uses
+        the bulk path under ``bulk=True``; ``elementwise`` initializers
+        (needed for non-numeric values) run identically on both backends."""
+        if elementwise is not None:
+            prop.set_initial(elementwise)
+        elif self.bulk:
+            prop.set_initial_bulk(lambda nodes: np.asarray(values(nodes)))
+        else:
+            prop.set_initial(_elementwise(values))
+
+    # -------------------------------------------------------- loop driver
+
+    def run(self, plan: Plan) -> int:
+        """Execute a plan; returns completed rounds (0 for ``once`` plans)."""
+        if self.observer is not None:
+            self.observer(plan)
+        if plan.once:
+            self.run_round(plan)
+            return 0
+        quiesce = tuple(plan.quiesce)
+        maps = tuple(plan.maps) if plan.maps else quiesce
+
+        def before_round() -> None:
+            for prop in quiesce:
+                prop.reset_updated()
+
+        def converged() -> bool:
+            if quiesce and not any(prop.is_updated() for prop in quiesce):
+                return True
+            if plan.converged is not None:
+                return bool(plan.converged())
+            return False
+
+        on_max_rounds = None
+        if plan.raise_on_max_rounds:
+            names = [prop.name for prop in (quiesce or maps)]
+            loop_label = plan.loop_label
+
+            def on_max_rounds(rounds: int) -> Exception:
+                return NonQuiescenceError(rounds, names, loop=loop_label)
+
+        return run_recoverable_loop(
+            self.cluster,
+            list(maps),
+            lambda: self.run_round(plan),
+            converged=converged,
+            before_round=before_round,
+            max_rounds=plan.max_rounds,
+            advance_rounds=plan.advance_rounds,
+            extra_snapshot=plan.extra_snapshot,
+            extra_restore=plan.extra_restore,
+            on_max_rounds=on_max_rounds,
+        )
+
+    def run_round(self, plan: Plan) -> None:
+        """One pass over the plan's steps (one BSP round)."""
+        for step in plan.steps:
+            if isinstance(step, OperatorStep):
+                self._run_operator(plan.pgraph, step.operator)
+            elif isinstance(step, SyncStep):
+                if step.action == "request":
+                    step.map.request_sync()
+                elif step.action == "reduce":
+                    step.map.reduce_sync()
+                else:
+                    step.map.broadcast_sync()
+            elif isinstance(step, ResetStep):
+                if step.elementwise:
+                    step.map.reset_values(step.values)
+                elif self.bulk:
+                    step.map.reset_values_bulk(
+                        lambda nodes, values=step.values: np.asarray(values(nodes))
+                    )
+                else:
+                    step.map.reset_values(_elementwise(step.values))
+            elif isinstance(step, HostStep):
+                step.fn()
+            else:  # pragma: no cover - the step union is closed
+                raise TypeError(f"unknown plan step {step!r}")
+
+    # --------------------------------------------------- kernel dispatch
+
+    def _run_operator(self, pgraph, operator: Operator) -> None:
+        kernel = operator.kernel
+        if isinstance(kernel, ScalarKernel):
+            # Reference-loop semantics on both backends (see module doc).
+            body = kernel.body
+        elif isinstance(kernel, EdgePush):
+            body = (
+                self._edge_push_bulk(kernel)
+                if self.bulk
+                else self._edge_push_scalar(kernel)
+            )
+        elif isinstance(kernel, NodeUpdate):
+            body = (
+                self._node_update_bulk(kernel)
+                if self.bulk
+                else self._node_update_scalar(kernel)
+            )
+        elif isinstance(kernel, DegreeReduce):
+            body = (
+                self._degree_reduce_bulk(kernel)
+                if self.bulk
+                else self._degree_reduce_scalar(kernel)
+            )
+        else:  # pragma: no cover - the kernel union is closed
+            raise TypeError(f"unknown kernel form {kernel!r}")
+        driver = par_for_bulk if self.bulk and not isinstance(kernel, ScalarKernel) else par_for
+        driver(
+            self.cluster,
+            pgraph,
+            operator.space,
+            body,
+            kind=operator.kind,
+            label=operator.label,
+        )
+
+    # ----------------------------------------------- EdgePush, both forms
+
+    def _edge_push_scalar(self, k: EdgePush) -> Callable[[OperatorContext], None]:
+        def body(ctx: OperatorContext) -> None:
+            if k.skip_zero_degree and ctx.part.degree(ctx.local) == 0:
+                return
+            if k.charge_per_source:
+                ctx.charge(k.charge_per_source)
+            if k.require_active is not None and not k.require_active.is_active(
+                ctx.host, ctx.node
+            ):
+                return
+            value = None
+            if k.source is not None:
+                value = k.source.read_local(ctx.host, ctx.local)
+                if k.value_filter is not None and not bool(k.value_filter(value)):
+                    return
+            if k.const_value is not None:
+                push = k.const_value
+            elif k.transform is not None:
+                push = _scalar(k.transform(value, ctx.node))
+            else:
+                push = value
+            for edge in ctx.edges():
+                if k.charge_per_edge:
+                    ctx.charge(k.charge_per_edge)
+                dst = ctx.edge_dst(edge)
+                if k.edge_filter is not None and not bool(
+                    k.edge_filter(ctx.node, dst)
+                ):
+                    continue
+                message = push
+                if k.with_weight == "add":
+                    weight = 1.0 if k.unit_weights else ctx.edge_weight(edge)
+                    message = push + weight
+                k.target.reduce(ctx.host, ctx.thread, dst, message, k.op)
+
+        return body
+
+    def _edge_push_bulk(self, k: EdgePush) -> Callable[[BulkOperatorContext], None]:
+        def body(ctx: BulkOperatorContext) -> None:
+            sel = np.arange(ctx.local_ids.size, dtype=np.int64)
+            if k.skip_zero_degree:
+                sel = np.flatnonzero(ctx.degrees() > 0)
+                if sel.size == 0:
+                    return
+            if k.charge_per_source:
+                ctx.charge(int(k.charge_per_source * sel.size))
+            if sel.size == 0:
+                return
+            if k.require_active is not None:
+                sel = sel[k.require_active.is_active_bulk(ctx.host, ctx.node_ids[sel])]
+                if sel.size == 0:
+                    return
+            values = None
+            if k.source is not None:
+                values = k.source.read_local_bulk(ctx.host, ctx.local_ids[sel])
+                if k.value_filter is not None:
+                    keep = np.asarray(k.value_filter(values))
+                    sel = sel[keep]
+                    values = values[keep]
+                    if sel.size == 0:
+                        return
+                if k.transform is not None:
+                    values = np.asarray(k.transform(values, ctx.node_ids[sel]))
+            source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
+            if k.charge_per_edge:
+                ctx.charge(int(k.charge_per_edge * edge_ids.size))
+            if edge_ids.size == 0:
+                return
+            threads = ctx.threads[sel][source_pos]
+            dst = ctx.edge_dst(edge_ids)
+            if k.const_value is not None:
+                pushes = np.full(edge_ids.size, k.const_value)
+            else:
+                pushes = values[source_pos]
+            if k.edge_filter is not None:
+                keep = np.asarray(
+                    k.edge_filter(ctx.node_ids[sel][source_pos], dst)
+                )
+                if not np.all(keep):
+                    threads = threads[keep]
+                    dst = dst[keep]
+                    pushes = pushes[keep]
+                    edge_ids = edge_ids[keep]
+                    if edge_ids.size == 0:
+                        return
+            if k.with_weight == "add":
+                weights = (
+                    np.ones(edge_ids.size, dtype=np.float64)
+                    if k.unit_weights
+                    else ctx.edge_weights(edge_ids)
+                )
+                pushes = pushes + weights
+            k.target.reduce_bulk(ctx.host, threads, dst, pushes, k.op)
+
+        return body
+
+    # --------------------------------------------- NodeUpdate, both forms
+
+    def _node_update_scalar(self, k: NodeUpdate) -> Callable[[OperatorContext], None]:
+        value_of = _elementwise(k.value)
+
+        def body(ctx: OperatorContext) -> None:
+            if k.charge_per_node:
+                ctx.charge(k.charge_per_node)
+            k.target.reduce(ctx.host, ctx.thread, ctx.node, value_of(ctx.node), k.op)
+
+        return body
+
+    def _node_update_bulk(self, k: NodeUpdate) -> Callable[[BulkOperatorContext], None]:
+        def body(ctx: BulkOperatorContext) -> None:
+            if k.charge_per_node:
+                ctx.charge(int(k.charge_per_node * ctx.node_ids.size))
+            if ctx.node_ids.size == 0:
+                return
+            values = np.asarray(k.value(ctx.node_ids))
+            k.target.reduce_bulk(ctx.host, ctx.threads, ctx.node_ids, values, k.op)
+
+        return body
+
+    # ------------------------------------------- DegreeReduce, both forms
+
+    def _degree_reduce_scalar(
+        self, k: DegreeReduce
+    ) -> Callable[[OperatorContext], None]:
+        def body(ctx: OperatorContext) -> None:
+            local_degree = ctx.part.degree(ctx.local)
+            if local_degree:
+                k.target.reduce(ctx.host, ctx.thread, ctx.node, local_degree, SUM)
+
+        return body
+
+    def _degree_reduce_bulk(
+        self, k: DegreeReduce
+    ) -> Callable[[BulkOperatorContext], None]:
+        def body(ctx: BulkOperatorContext) -> None:
+            degs = ctx.degrees()
+            sel = np.flatnonzero(degs > 0)
+            if sel.size:
+                k.target.reduce_bulk(
+                    ctx.host, ctx.threads[sel], ctx.node_ids[sel], degs[sel], SUM
+                )
+
+        return body
+
+
+__all__ = ["Executor"]

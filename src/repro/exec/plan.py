@@ -1,0 +1,326 @@
+"""Operator plans: the declarative algorithm specification layer.
+
+A plan describes one BSP round of an algorithm as data - a sequence of
+steps (operators, sync collectives, map resets, host-side scalar code)
+plus the loop/convergence driver - so a single
+:class:`repro.exec.executor.Executor` can run it on either the scalar
+reference backend (``par_for``) or the vectorized bulk backend
+(``par_for_bulk`` + ``reduce_bulk``) with byte-identical metrics.
+
+Operator bodies come in four *kernel forms*:
+
+* :class:`EdgePush` - the adjacent-vertex push: each active source sends
+  a value along its out-edges into a target map under a reducer. This is
+  the fully declarative form (the executor owns both the scalar loop and
+  the vectorized interpretation).
+* :class:`NodeUpdate` - a per-node recompute reduced onto the node itself
+  (e.g. PageRank's rebuild).
+* :class:`DegreeReduce` - the shared warm-up that SUM-reduces each host's
+  local out-degree share onto the node (PR / MIS global degrees).
+* :class:`ScalarKernel` - an opaque per-node body with declared
+  reads/writes metadata. Both backends execute it as the same scalar
+  reference loop (like the MC runtime variant, which degrades to the
+  scalar path by design), so byte-identity is structural; only kernels
+  worth vectorizing need one of the array forms above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Union
+
+from repro.cluster.metrics import PhaseKind
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import SUM, ReduceOp
+from repro.partition.base import PartitionedGraph
+from repro.runtime.engine import OperatorContext
+
+PLAN_SCHEMA = "repro-exec-plan/v1"
+
+
+# ------------------------------------------------------------- kernel forms
+
+
+@dataclass
+class EdgePush:
+    """Push a per-source value along every out-edge into ``target``.
+
+    The canonical pipeline (fixed so both backends meter identically):
+    degree filter -> ``charge_per_source`` -> activity filter -> source
+    read -> ``value_filter`` -> ``transform`` -> edge expansion (charges
+    ``edge_iters`` plus ``charge_per_edge``) -> ``edge_filter`` -> weight
+    combine -> reduce. All callables are written array-style (numpy
+    semantics); the executor derives the per-node scalar form.
+    """
+
+    target: NodePropMap
+    op: ReduceOp
+    source: NodePropMap | None = None
+    require_active: NodePropMap | None = None
+    skip_zero_degree: bool = True
+    charge_per_source: int = 0
+    charge_per_edge: int = 0
+    value_filter: Callable[[Any], Any] | None = None
+    transform: Callable[[Any, Any], Any] | None = None  # (values, nodes)
+    const_value: Any = None
+    with_weight: str | None = None  # None | "add" (value + edge weight)
+    unit_weights: bool = False
+    edge_filter: Callable[[Any, Any], Any] | None = None  # (src, dst) nodes
+
+    @property
+    def form(self) -> str:
+        return "edge-push"
+
+    def reads(self) -> tuple[str, ...]:
+        names = []
+        if self.require_active is not None:
+            names.append(self.require_active.name)
+        if self.source is not None and self.source.name not in names:
+            names.append(self.source.name)
+        return tuple(names)
+
+    def writes(self) -> tuple[tuple[str, str], ...]:
+        return ((self.target.name, self.op.name),)
+
+
+@dataclass
+class NodeUpdate:
+    """Reduce ``value(node_ids)`` onto each iterated node itself."""
+
+    target: NodePropMap
+    op: ReduceOp
+    value: Callable[[Any], Any]  # array of global node ids -> values
+    charge_per_node: int = 0
+    read_names: tuple[str, ...] = ()
+
+    @property
+    def form(self) -> str:
+        return "node-update"
+
+    def reads(self) -> tuple[str, ...]:
+        return self.read_names
+
+    def writes(self) -> tuple[tuple[str, str], ...]:
+        return ((self.target.name, self.op.name),)
+
+
+@dataclass
+class DegreeReduce:
+    """SUM-reduce each host's local out-degree share onto the node."""
+
+    target: NodePropMap
+
+    @property
+    def form(self) -> str:
+        return "degree-reduce"
+
+    def reads(self) -> tuple[str, ...]:
+        return ()
+
+    def writes(self) -> tuple[tuple[str, str], ...]:
+        return ((self.target.name, SUM.name),)
+
+
+@dataclass
+class ScalarKernel:
+    """An opaque per-node body run as the scalar reference loop on both
+    backends. ``read_names``/``write_names`` declare the maps touched so
+    plans stay introspectable (``repro plan``) even for opaque bodies."""
+
+    body: Callable[[OperatorContext], None]
+    read_names: tuple[str, ...] = ()
+    write_names: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def form(self) -> str:
+        return "scalar"
+
+    def reads(self) -> tuple[str, ...]:
+        return self.read_names
+
+    def writes(self) -> tuple[tuple[str, str], ...]:
+        return self.write_names
+
+
+Kernel = Union[EdgePush, NodeUpdate, DegreeReduce, ScalarKernel]
+
+
+# ------------------------------------------------------------------- steps
+
+
+@dataclass
+class Operator:
+    """One compute phase: a kernel over an iteration space, with a label
+    (the trace/profile operator attribution) and a BSP phase kind."""
+
+    label: str
+    space: str  # "masters" | "all"
+    kernel: Kernel
+    kind: PhaseKind = PhaseKind.REDUCE_COMPUTE
+
+
+@dataclass
+class OperatorStep:
+    operator: Operator
+
+
+@dataclass
+class SyncStep:
+    """A sync collective on one map: "request", "reduce", or "broadcast"
+    (broadcast is a no-op unless the map is pinned, as at the map layer)."""
+
+    map: NodePropMap
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ("request", "reduce", "broadcast"):
+            raise ValueError(f"unknown sync action {self.action!r}")
+
+
+@dataclass
+class ResetStep:
+    """Reset a map's values (and its per-loop reducer binding) each round.
+
+    ``values`` is array-style over global node ids unless ``elementwise``
+    (then it is per-node, used verbatim by both backends - required for
+    non-numeric values like tuples).
+    """
+
+    map: NodePropMap
+    values: Callable[[Any], Any]
+    elementwise: bool = False
+
+
+@dataclass
+class HostStep:
+    """Host-side scalar code between phases (dangling mass, deltas, ...)."""
+
+    label: str
+    fn: Callable[[], None]
+
+
+Step = Union[OperatorStep, SyncStep, ResetStep, HostStep]
+
+
+# -------------------------------------------------------------------- plans
+
+
+@dataclass
+class Plan:
+    """An algorithm loop (or one-shot phase group) as data.
+
+    ``steps`` is one BSP round. The executor drives the loop through
+    ``run_recoverable_loop``: quiescence over ``quiesce`` maps and/or a
+    custom ``converged`` predicate, checkpoint/recovery over ``maps``
+    (defaults to ``quiesce``), optional ``extra_snapshot``/``extra_restore``
+    for loop-private host state. ``once`` plans execute their steps exactly
+    one time (warm-ups, per-round phase groups of host-driven loops).
+    """
+
+    name: str
+    pgraph: PartitionedGraph
+    steps: Sequence[Step]
+    quiesce: Sequence[NodePropMap] = ()
+    converged: Callable[[], bool] | None = None
+    maps: Sequence[NodePropMap] = ()
+    max_rounds: int = 100000
+    advance_rounds: bool = True
+    once: bool = False
+    raise_on_max_rounds: bool = True
+    loop_label: str = "KimbapWhile"
+    extra_snapshot: Callable[[], object] | None = None
+    extra_restore: Callable[[object], None] | None = None
+
+
+# ------------------------------------------------------------- introspection
+
+
+def operator_summary(operator: Operator) -> dict:
+    """Machine-readable description of one operator (for ``repro plan``)."""
+    kernel = operator.kernel
+    return {
+        "label": operator.label,
+        "space": operator.space,
+        "kind": operator.kind.value,
+        "form": kernel.form,
+        "reads": list(kernel.reads()),
+        "writes": [
+            {"map": name, "reducer": reducer} for name, reducer in kernel.writes()
+        ],
+    }
+
+
+def _step_summary(step: Step) -> dict:
+    if isinstance(step, OperatorStep):
+        return {"step": "operator", **operator_summary(step.operator)}
+    if isinstance(step, SyncStep):
+        return {"step": "sync", "map": step.map.name, "action": step.action}
+    if isinstance(step, ResetStep):
+        return {"step": "reset", "map": step.map.name}
+    return {"step": "host", "label": step.label}
+
+
+def plan_summary(plan: Plan) -> dict:
+    """Machine-readable description of a whole plan."""
+    if plan.once:
+        condition = "once"
+    elif plan.quiesce and plan.converged is not None:
+        condition = "quiescence+custom"
+    elif plan.quiesce:
+        condition = "quiescence"
+    else:
+        condition = "custom"
+    summary = {
+        "name": plan.name,
+        "loop": condition,
+        "steps": [_step_summary(step) for step in plan.steps],
+    }
+    if not plan.once:
+        summary["quiesce"] = [prop.name for prop in plan.quiesce]
+        summary["max_rounds"] = plan.max_rounds
+        summary["advance_rounds"] = plan.advance_rounds
+    return summary
+
+
+def format_plan_summary(summary: dict) -> str:
+    """Render one plan summary as indented text (the ``repro plan`` view)."""
+    lines = [f"plan {summary['name']} [{summary['loop']}]"]
+    if summary.get("quiesce"):
+        lines.append(f"  quiesce: {', '.join(summary['quiesce'])}")
+    for step in summary["steps"]:
+        if step["step"] == "operator":
+            writes = ", ".join(
+                f"{write['map']}<-{write['reducer']}" for write in step["writes"]
+            )
+            reads = ", ".join(step["reads"]) or "-"
+            lines.append(
+                f"  operator {step['label']} ({step['form']}, {step['space']}, "
+                f"{step['kind']}) reads: {reads} writes: {writes or '-'}"
+            )
+        elif step["step"] == "sync":
+            lines.append(f"  sync {step['action']} {step['map']}")
+        elif step["step"] == "reset":
+            lines.append(f"  reset {step['map']}")
+        else:
+            lines.append(f"  host {step['label']}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "EdgePush",
+    "NodeUpdate",
+    "DegreeReduce",
+    "ScalarKernel",
+    "Kernel",
+    "Operator",
+    "OperatorStep",
+    "SyncStep",
+    "ResetStep",
+    "HostStep",
+    "Step",
+    "Plan",
+    "operator_summary",
+    "plan_summary",
+    "format_plan_summary",
+]

@@ -18,7 +18,7 @@ snapshot-based recovery at iteration granularity.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 
 def _check_rate(name: str, value: float) -> None:

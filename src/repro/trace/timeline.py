@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.costmodel import CostModel, ModeledTime
-from repro.cluster.metrics import Counters, MetricsLog, PhaseKind, PhaseRecord
+from repro.cluster.metrics import Counters, MetricsLog, PhaseKind
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import mis
-from repro.algorithms.mis import IN_SET, OUT, UNDECIDED
+from repro.algorithms.mis import IN_SET, OUT
 from repro.cluster import Cluster
 from repro.core import RuntimeVariant
 from repro.graph import generators

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.galois import _AtomicSlots, galois_cc_lp, galois_mis
 from repro.baselines.vite import _vite_level, vite_louvain

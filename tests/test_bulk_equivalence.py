@@ -26,11 +26,19 @@ from repro.core.bitset import ConcurrentBitset
 from repro.core.reducers import MIN, SUM
 from repro.core.reduction import SharedMapReduction, ThreadLocalReduction
 from repro.core.variants import RuntimeVariant
-from repro.eval.harness import run_kimbap
+from repro.eval.harness import APP_WEIGHTED, KIMBAP_APPS, run_kimbap
 from repro.graph import generators
 
-APPS = ("PR", "SSSP", "CC-LP")
+# Backend selection lives on the executor, so every application is
+# bulk-capable; the whole registry is under the byte-identity contract.
+APPS = tuple(sorted(KIMBAP_APPS))
+# The original bulk-path kernels keep the expensive full-variant matrix.
+CORE_APPS = ("PR", "SSSP", "CC-LP")
 VARIANTS = tuple(RuntimeVariant)
+
+
+def app_weighted(app: str) -> bool:
+    return APP_WEIGHTED.get(app, False)
 
 
 def random_graph(seed: int, weighted: bool = False):
@@ -66,14 +74,22 @@ class TestRunResultEquivalence:
     """Whole-run byte-identity, the tentpole invariant."""
 
     @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: v.name)
-    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("app", CORE_APPS)
     def test_all_variants(self, app, variant):
-        graph = generators.powerlaw_like(scale=7, seed=3, weighted=app == "SSSP")
+        graph = generators.powerlaw_like(scale=7, seed=3, weighted=app_weighted(app))
         assert_equivalent(app, graph, hosts=4, variant=variant, threads=4)
 
     @pytest.mark.parametrize("app", APPS)
+    def test_all_apps(self, app):
+        """Every registered application is byte-identical across backends."""
+        graph = generators.erdos_renyi(50, 3.0, seed=7, weighted=app_weighted(app))
+        assert_equivalent(
+            app, graph, hosts=3, variant=RuntimeVariant.KIMBAP, threads=4
+        )
+
+    @pytest.mark.parametrize("app", APPS)
     def test_single_host_single_thread(self, app):
-        graph = generators.erdos_renyi(60, 3.0, seed=5, weighted=app == "SSSP")
+        graph = generators.erdos_renyi(60, 3.0, seed=5, weighted=app_weighted(app))
         assert_equivalent(
             app, graph, hosts=1, variant=RuntimeVariant.KIMBAP, threads=1
         )
@@ -81,7 +97,7 @@ class TestRunResultEquivalence:
     @pytest.mark.parametrize("app", APPS)
     def test_many_threads(self, app):
         # More threads than a host has nodes: empty thread segments.
-        graph = generators.erdos_renyi(30, 2.5, seed=11, weighted=app == "SSSP")
+        graph = generators.erdos_renyi(30, 2.5, seed=11, weighted=app_weighted(app))
         assert_equivalent(
             app, graph, hosts=2, variant=RuntimeVariant.KIMBAP, threads=48
         )
@@ -95,7 +111,7 @@ class TestRunResultEquivalence:
     )
     @settings(max_examples=25, deadline=None)
     def test_random(self, seed, app, variant, hosts, threads):
-        graph = random_graph(seed, weighted=app == "SSSP")
+        graph = random_graph(seed, weighted=app_weighted(app))
         assert_equivalent(app, graph, hosts, variant, threads)
 
     def test_weighted_sssp_uses_edge_weights(self):

@@ -21,12 +21,10 @@ from repro.compiler.ir import (
     ForEdges,
     If,
     MapRead,
-    MapReduce,
     Var,
     stmts,
 )
 from repro.compiler.programs import cc_sv_hook, cc_sv_shortcut
-from repro.core.reducers import MIN
 
 
 def straight_line():

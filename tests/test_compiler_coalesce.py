@@ -48,7 +48,7 @@ class TestCoalescePass:
         # operator touch edges (disables masters-only elision) but read
         # maps that are not pinned (keys are ACTIVE but maps unpinned
         # because reads are... pinned applies; so craft dynamic keys).
-        from repro.compiler.ir import Const, ForEdges
+        from repro.compiler.ir import Const
 
         body = stmts(
             MapRead("a_value", "a", BinOp("+", ActiveNode(), Const(0))),

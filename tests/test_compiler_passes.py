@@ -20,7 +20,6 @@ from repro.compiler.ir import (
     EdgeDst,
     ForEdges,
     If,
-    KimbapWhile,
     MapRead,
     MapReduce,
     MapRequest,

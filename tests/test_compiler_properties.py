@@ -8,7 +8,6 @@ interpreter expression semantics against plain Python.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +18,6 @@ from repro.compiler.ir import (
     Assign,
     BinOp,
     Const,
-    EdgeDst,
     ForEdges,
     If,
     MapRead,

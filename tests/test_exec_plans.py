@@ -1,0 +1,183 @@
+"""The operator-plan execution layer: plan summaries, executor semantics,
+compiled-program parity with hand-written plans, and the ``plan`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms import cc_lp, cc_sv, pagerank
+from repro.algorithms.cc_lp import cc_lp_plan
+from repro.cli import main
+from repro.cluster import Cluster
+from repro.cluster.metrics import PhaseKind
+from repro.compiler.apps import (
+    compiled_cc_lp,
+    compiled_cc_sv,
+    compiled_pagerank,
+)
+from repro.compiler.compile import compile_program
+from repro.compiler.interp import run_compiled
+from repro.compiler.programs import cc_lp_program
+from repro.core.propmap import NodePropMap
+from repro.exec import (
+    PLAN_SCHEMA,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+    format_plan_summary,
+    plan_summary,
+)
+from repro.graph import generators
+from repro.partition import partition
+from repro.trace import build_timeline
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.powerlaw_like(scale=6, seed=3)
+
+
+def run_handwritten(app, graph, bulk):
+    cluster = Cluster(3, threads_per_host=4)
+    executor = Executor(cluster, bulk=bulk)
+    return app(cluster, partition(graph, 3, "cvc"), executor=executor)
+
+
+class TestPlanSummaries:
+    def test_edge_push_summary(self, graph):
+        cluster = Cluster(2, threads_per_host=2)
+        pgraph = partition(graph, 2, "cvc")
+        label = NodePropMap(cluster, pgraph, "cc_label")
+        summary = plan_summary(cc_lp_plan(pgraph, label))
+        assert summary["name"] == "cc_lp"
+        assert summary["loop"] == "quiescence"
+        assert summary["quiesce"] == ["cc_label"]
+        operator = summary["steps"][0]
+        assert operator["form"] == "edge-push"
+        assert operator["space"] == "all"
+        assert operator["writes"] == [{"map": "cc_label", "reducer": "min"}]
+        text = format_plan_summary(summary)
+        assert "operator cc_lp (edge-push, all, reduce-compute)" in text
+        assert "sync reduce cc_label" in text
+
+    def test_once_plan_reports_no_loop_metadata(self, graph):
+        cluster = Cluster(1)
+        pgraph = partition(graph, 1, "cvc")
+        plan = Plan(
+            name="warmup",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(
+                    Operator("noop", "masters", ScalarKernel(lambda ctx: None))
+                )
+            ],
+            once=True,
+        )
+        summary = plan_summary(plan)
+        assert summary["loop"] == "once"
+        assert "quiesce" not in summary
+        assert Executor(cluster).run(plan) == 0
+
+
+class TestExecutorSemantics:
+    def test_bulk_flag_deprecation_shim(self, graph):
+        cluster = Cluster(2, threads_per_host=2)
+        with pytest.deprecated_call():
+            result = cc_lp(cluster, partition(graph, 2, "cvc"), bulk=True)
+        reference = run_handwritten(cc_lp, graph, bulk=True)
+        assert result.values == reference.values
+
+    def test_executor_backend_overrides_nothing_per_algorithm(self, graph):
+        # One executor drives different algorithms with one backend choice.
+        cluster = Cluster(2, threads_per_host=2)
+        executor = Executor(cluster, bulk=True)
+        pgraph = partition(graph, 2, "cvc")
+        first = cc_lp(cluster, pgraph, executor=executor)
+        second = cc_sv(cluster, pgraph, executor=executor)
+        assert set(first.values) == set(second.values)
+        assert first.values == second.values
+
+
+class TestCompiledParity:
+    """Compiled programs ride the same executor as hand-written plans."""
+
+    @pytest.mark.parametrize("bulk", [False, True], ids=["scalar", "bulk"])
+    def test_compiled_pagerank_matches_handwritten(self, graph, bulk):
+        compiled = compiled_pagerank(
+            Cluster(3, threads_per_host=4), partition(graph, 3, "cvc")
+        )
+        manual = run_handwritten(pagerank, graph, bulk)
+        assert compiled.values == manual.values
+        assert compiled.rounds == manual.rounds
+
+    @pytest.mark.parametrize("bulk", [False, True], ids=["scalar", "bulk"])
+    @pytest.mark.parametrize(
+        "compiled,manual",
+        [(compiled_cc_lp, cc_lp), (compiled_cc_sv, cc_sv)],
+        ids=["cc_lp", "cc_sv"],
+    )
+    def test_compiled_cc_matches_handwritten(self, graph, bulk, compiled, manual):
+        compiled_result = compiled(
+            Cluster(3, threads_per_host=4), partition(graph, 3, "cvc")
+        )
+        manual_result = run_handwritten(manual, graph, bulk)
+        assert compiled_result.values == manual_result.values
+
+    def test_compiled_loop_byte_identical_across_backends(self, graph):
+        def run(bulk):
+            cluster = Cluster(3, threads_per_host=4)
+            pgraph = partition(graph, 3, "cvc")
+            label = NodePropMap(cluster, pgraph, "label")
+            label.set_initial(lambda node: node)
+            rounds = run_compiled(
+                compile_program(cc_lp_program()),
+                cluster,
+                pgraph,
+                {"label": label},
+                executor=Executor(cluster, bulk=bulk),
+            )
+            return (
+                rounds,
+                label.snapshot(),
+                cluster.log.total_counters().as_dict(),
+                cluster.elapsed().total,
+            )
+
+        assert run(False) == run(True)
+
+    def test_compiled_trace_round_and_operator_attribution(self, graph):
+        cluster = Cluster(2, threads_per_host=4)
+        result = compiled_cc_lp(cluster, partition(graph, 2, "cvc"))
+        timeline = build_timeline(cluster.log, cluster.cost_model, 4)
+        computes = [
+            s for s in timeline.slices if s.kind is PhaseKind.REDUCE_COMPUTE
+        ]
+        assert computes and any(s.operator == "cc_lp" for s in computes)
+        assert max(s.round for s in timeline.slices) == result.rounds
+
+
+class TestPlanCli:
+    def test_plan_text(self, capsys):
+        assert main(["plan", "CC-LP"]) == 0
+        out = capsys.readouterr().out
+        assert "plan cc_lp [quiescence]" in out
+        assert "operator cc_lp (edge-push, all, reduce-compute)" in out
+
+    def test_plan_json(self, capsys):
+        assert main(["plan", "PR", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == PLAN_SCHEMA
+        assert payload["app"] == "PR"
+        names = [plan["name"] for plan in payload["plans"]]
+        assert names == ["pr:warmup", "pagerank"]
+        forms = [
+            step["form"]
+            for plan in payload["plans"]
+            for step in plan["steps"]
+            if step["step"] == "operator"
+        ]
+        assert "edge-push" in forms and "degree-reduce" in forms

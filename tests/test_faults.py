@@ -200,6 +200,28 @@ class TestRecoveryEquivalence:
             check_equivalent_values(baseline.values, faulted.values)
             assert faulted.rounds == baseline.rounds
 
+    @pytest.mark.parametrize("app", ["K-CORE", "CC-SV"])
+    def test_newly_recoverable_crash_at_every_round(self, app, small_graph):
+        """Plan-driven loops get checkpoint/recovery from the executor for
+        free - including multi-loop apps (CC-SV interleaves hook/shortcut
+        plans) and scalar-kernel apps (K-CORE), which had no recovery path
+        before the operator-plan layer."""
+        baseline = run_kimbap(app, "road", 3, threads=4, graph=small_graph)
+        assert baseline.rounds >= 3
+        for round_id in range(1, baseline.rounds + 1):
+            faulted = run_kimbap(
+                app,
+                "road",
+                3,
+                threads=4,
+                graph=small_graph,
+                fault_plan=_crash_plan(round_id),
+            )
+            assert faulted.outcome == "ok"
+            assert faulted.faults["recoveries"] == 1
+            check_equivalent_values(baseline.values, faulted.values)
+            assert faulted.rounds == baseline.rounds
+
     def test_crash_past_last_round_stays_pending(self, small_graph):
         faulted = run_kimbap(
             "BFS",

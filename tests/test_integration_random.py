@@ -8,7 +8,6 @@ bug, or variant divergence surfaces here as a wrong answer.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

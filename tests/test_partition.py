@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import Graph, generators
+from repro.graph import generators
 from repro.partition import POLICIES, partition
 from repro.partition.base import balanced_node_blocks
 from repro.partition.cartesian import grid_shape

@@ -12,7 +12,7 @@ from repro.cluster.metrics import PhaseKind
 from repro.eval.harness import RESULT_SCHEMA, run_kimbap
 from repro.eval.reporting import format_phase_breakdown, phase_breakdown_rows
 from repro.graph import generators
-from repro.trace import build_timeline, to_chrome_trace, top_phases, write_chrome_trace
+from repro.trace import to_chrome_trace, top_phases, write_chrome_trace
 
 
 @pytest.fixture(scope="module")
