@@ -1,13 +1,31 @@
 #!/usr/bin/env python
-"""Wall-clock speedup of the bulk execution path over the scalar reference.
+"""Wall-clock speedup of the bulk and host-parallel execution paths.
 
 Standalone script (no pytest dependency - CI's smoke job runs it directly):
-for each app cell it runs the scalar and the bulk path on the same workload,
-times both with ``time.perf_counter``, and **asserts the byte-identical
-equivalence contract** - ``RunResult.to_dict()`` (counters, conflict counts,
-modeled seconds, traces) and the final property values must match exactly.
-Any divergence exits non-zero, so the CI smoke job doubles as the
-equivalence gate.
+for each app cell it runs the full backend matrix on the same workload -
+scalar ``jobs=1`` (the oracle), scalar ``jobs=4``, bulk ``jobs=1``, and
+bulk ``jobs=2/4`` (host-shard process parallelism, ``repro.exec.pool``) -
+times every
+variant with ``time.perf_counter``, and **asserts the byte-identical
+equivalence contract** against the scalar oracle: ``RunResult.to_dict()``
+(counters, conflict counts, modeled seconds, traces) and the final
+property values must match exactly. Any divergence exits non-zero, so
+the CI smoke job doubles as the equivalence gate.
+
+On runners with at least 4 cores the script additionally gates on real
+parallel speedup: the headline cell's scalar ``jobs=4`` run must beat
+scalar ``jobs=1`` by ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 1.8x).
+The scalar backend is the honest parallelism demonstration: its compute
+phases dominate the run, so host-shard processes scale it. The bulk
+backend's vectorized baseline is the COST caution (PAPERS.md) in action -
+at default scale its compute phases are ~30% of wall-clock (replicated
+sync collectives and setup dominate), so by Amdahl's law jobs cannot
+reach 1.8x there; the bulk jobs ratios are recorded ungated so the
+trajectory shows where the crossover lands as scale grows.
+Single-core machines still verify the full equivalence matrix - the
+determinism contract is core-count independent - and record the measured
+ratios without gating; set ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force the
+gate regardless of core count.
 
 Outputs ``benchmarks/reports/bench_wallclock_speedup.{json,txt}`` in the
 standard ``repro-bench-report/v1`` schema. Environment knobs match the
@@ -29,21 +47,50 @@ from repro.eval.harness import run_kimbap  # noqa: E402
 from repro.eval.workloads import load_graph  # noqa: E402
 
 REPORT_SCHEMA = "repro-bench-report/v1"
-TITLE = "Bulk vs scalar execution path: wall-clock speedup (byte-identical metrics)"
+TITLE = (
+    "Bulk + host-parallel execution paths: wall-clock speedup "
+    "(byte-identical metrics)"
+)
+# Backend matrix per cell: (column key, bulk flag, jobs). The scalar
+# jobs=1 run is the oracle every other variant must match byte for byte.
+MATRIX = (
+    ("scalar_j1", False, 1),
+    ("scalar_j4", False, 4),
+    ("bulk_j1", True, 1),
+    ("bulk_j2", True, 2),
+    ("bulk_j4", True, 4),
+)
 HEADERS = (
     "app",
     "graph",
     "hosts",
-    "scalar(s)",
-    "bulk(s)",
-    "speedup",
-    "modeled(s)",
+    "scalar j1(s)",
+    "scalar j4(s)",
+    "bulk j1(s)",
+    "bulk j2(s)",
+    "bulk j4(s)",
+    "bulk/scalar",
+    "scalar j4/j1",
+    "bulk j4/j1",
     "identical",
 )
 
 
 def fast_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def min_parallel_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "1.8"))
+
+
+def gate_speedup() -> bool:
+    """The >=1.8x scalar jobs=4 gate needs 4 real cores; equivalence
+    does not."""
+    forced = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "")
+    if forced not in ("", "0"):
+        return True
+    return (os.cpu_count() or 1) >= 4
 
 
 def cells() -> list[tuple[str, str, int]]:
@@ -69,22 +116,45 @@ def canonical(result) -> str:
 
 def run_cell(app: str, graph_name: str, hosts: int) -> dict:
     graph = load_graph(graph_name, weighted=(app == "SSSP"))
-    start = time.perf_counter()
-    scalar = run_kimbap(app, graph_name, hosts, graph=graph, bulk=False)
-    scalar_s = time.perf_counter() - start
-    start = time.perf_counter()
-    bulk = run_kimbap(app, graph_name, hosts, graph=graph, bulk=True)
-    bulk_s = time.perf_counter() - start
-    identical = canonical(scalar) == canonical(bulk) and scalar.values == bulk.values
+    wallclock: dict[str, float] = {}
+    results: dict[str, object] = {}
+    for key, bulk, jobs in MATRIX:
+        start = time.perf_counter()
+        results[key] = run_kimbap(
+            app, graph_name, hosts, graph=graph, bulk=bulk, jobs=jobs
+        )
+        wallclock[key] = time.perf_counter() - start
+    oracle = results["scalar_j1"]
+    oracle_bytes = canonical(oracle)
+    diverged = sorted(
+        key
+        for key, result in results.items()
+        if key != "scalar_j1"
+        and (canonical(result) != oracle_bytes or result.values != oracle.values)
+    )
     return {
         "app": app,
         "graph": graph_name,
         "hosts": hosts,
-        "scalar_wallclock_s": scalar_s,
-        "bulk_wallclock_s": bulk_s,
-        "speedup": scalar_s / bulk_s if bulk_s > 0 else float("inf"),
-        "modeled_total_s": bulk.total,
-        "identical": identical,
+        "wallclock_s": wallclock,
+        "bulk_speedup": (
+            wallclock["scalar_j1"] / wallclock["bulk_j1"]
+            if wallclock["bulk_j1"] > 0
+            else float("inf")
+        ),
+        "parallel_speedup": (
+            wallclock["scalar_j1"] / wallclock["scalar_j4"]
+            if wallclock["scalar_j4"] > 0
+            else float("inf")
+        ),
+        "bulk_parallel_speedup": (
+            wallclock["bulk_j1"] / wallclock["bulk_j4"]
+            if wallclock["bulk_j4"] > 0
+            else float("inf")
+        ),
+        "modeled_total_s": oracle.total,
+        "identical": not diverged,
+        "diverged": diverged,
     }
 
 
@@ -98,10 +168,14 @@ def main() -> int:
             r["app"],
             r["graph"],
             r["hosts"],
-            f"{r['scalar_wallclock_s']:.3f}",
-            f"{r['bulk_wallclock_s']:.3f}",
-            f"{r['speedup']:.1f}x",
-            f"{r['modeled_total_s']:.4f}",
+            f"{r['wallclock_s']['scalar_j1']:.3f}",
+            f"{r['wallclock_s']['scalar_j4']:.3f}",
+            f"{r['wallclock_s']['bulk_j1']:.3f}",
+            f"{r['wallclock_s']['bulk_j2']:.3f}",
+            f"{r['wallclock_s']['bulk_j4']:.3f}",
+            f"{r['bulk_speedup']:.1f}x",
+            f"{r['parallel_speedup']:.2f}x",
+            f"{r['bulk_parallel_speedup']:.2f}x",
             "yes" if r["identical"] else "DIVERGED",
         )
         for r in rows
@@ -121,25 +195,43 @@ def main() -> int:
         "results": [],
         "rows": [list(row) for row in printable],
         "cells": rows,
+        "matrix": [list(entry) for entry in MATRIX],
+        "cpu_count": os.cpu_count(),
+        "speedup_gated": gate_speedup(),
+        "min_parallel_speedup": min_parallel_speedup(),
         "fast_mode": fast_mode(),
     }
     with open(os.path.join(reports_dir, "bench_wallclock_speedup.json"), "w") as handle:
         json.dump(report, handle, indent=1)
 
-    diverged = [r for r in rows if not r["identical"]]
-    if diverged:
-        for r in diverged:
+    failed = False
+    for r in rows:
+        for key in r["diverged"]:
+            failed = True
             print(
-                f"EQUIVALENCE FAILURE: {r['app']} on {r['graph']} @ {r['hosts']} "
-                "hosts - bulk RunResult.to_dict() diverged from scalar",
+                f"EQUIVALENCE FAILURE: {r['app']} on {r['graph']} @ "
+                f"{r['hosts']} hosts - {key} RunResult.to_dict() diverged "
+                "from scalar jobs=1",
                 file=sys.stderr,
             )
-        return 1
     headline = rows[0]
+    if gate_speedup() and headline["parallel_speedup"] < min_parallel_speedup():
+        failed = True
+        print(
+            f"SPEEDUP FAILURE: headline {headline['app']} "
+            f"{headline['graph']}@{headline['hosts']} scalar jobs=4 over "
+            f"jobs=1 is {headline['parallel_speedup']:.2f}x "
+            f"(< {min_parallel_speedup():.1f}x, cpu_count={os.cpu_count()})",
+            file=sys.stderr,
+        )
+    if failed:
+        return 1
     print(
         f"headline: {headline['app']} {headline['graph']}@{headline['hosts']} "
-        f"speedup {headline['speedup']:.1f}x (scalar {headline['scalar_wallclock_s']:.3f}s, "
-        f"bulk {headline['bulk_wallclock_s']:.3f}s)"
+        f"bulk/scalar {headline['bulk_speedup']:.1f}x, "
+        f"scalar j4/j1 {headline['parallel_speedup']:.2f}x, "
+        f"bulk j4/j1 {headline['bulk_parallel_speedup']:.2f}x "
+        f"(cpu_count={os.cpu_count()}, gated={gate_speedup()})"
     )
     return 0
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
-from repro.core.reducers import MIN, ReduceOp
+from repro.core.reducers import MIN, OVERWRITE  # noqa: F401  (OVERWRITE re-exported)
 from repro.exec import (
     Executor,
     Operator,
@@ -28,9 +28,9 @@ from repro.exec import (
 from repro.graph.csr import Graph
 from repro.partition.base import PartitionedGraph
 
-# Single-writer assignment expressed as a reduction: only ever reduce a key
-# from one site per round (e.g. a node updating its *own* cluster id).
-OVERWRITE = ReduceOp("overwrite", lambda old, new: new)
+# OVERWRITE (single-writer assignment expressed as a reduction) is defined
+# canonically in repro.core.reducers so the cross-process operator registry
+# covers it; it stays re-exported here for the historical import path.
 
 
 def resolve_executor(
@@ -49,8 +49,9 @@ def resolve_executor(
         return executor
     if bulk is not None:
         warnings.warn(
-            f"{name}(bulk=...) is deprecated; pass bulk= to run_kimbap or "
-            "construct a repro.exec.Executor and pass executor=",
+            f"{name}(bulk=...) is deprecated; construct an "
+            "Executor(bulk=...) from repro.exec and pass executor=, or "
+            "pass bulk= to run_kimbap",
             DeprecationWarning,
             stacklevel=3,
         )

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro stats                          # Table 1 analog stats
     python -m repro run CC-SV --graph road --hosts 4
+    python -m repro run PR --graph powerlaw --bulk --jobs 4   # same bytes, more cores
     python -m repro run LV --graph powerlaw --hosts 8 --variant mc
     python -m repro variants CC-SV --graph powerlaw --hosts 4
     python -m repro compare-lv --graph road --hosts 4   # Kimbap vs Vite
@@ -59,19 +60,37 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     variant = VARIANTS_BY_LABEL[args.variant]
     result = run_kimbap(
-        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
     )
     print(_result_rows([result]))
     print(f"rounds: {result.rounds}")
     for key, value in sorted(result.stats.items()):
         print(f"{key}: {value}")
     print(f"messages: {result.messages}, bytes: {result.bytes}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote run result JSON to {args.report}")
     return 0
 
 
 def cmd_variants(args: argparse.Namespace) -> int:
     results = [
-        run_kimbap(args.app, args.graph, args.hosts, variant=variant, threads=args.threads)
+        run_kimbap(
+            args.app,
+            args.graph,
+            args.hosts,
+            variant=variant,
+            threads=args.threads,
+            bulk=args.bulk,
+            jobs=args.jobs,
+        )
         for variant in (
             RuntimeVariant.MC,
             RuntimeVariant.SGR_ONLY,
@@ -84,7 +103,14 @@ def cmd_variants(args: argparse.Namespace) -> int:
 
 
 def cmd_compare_lv(args: argparse.Namespace) -> int:
-    kimbap = run_kimbap("LV", args.graph, args.hosts, threads=args.threads)
+    kimbap = run_kimbap(
+        "LV",
+        args.graph,
+        args.hosts,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
+    )
     vite = run_vite(args.graph, args.hosts, threads=args.threads)
     galois = run_galois("LV", args.graph, threads=args.threads)
     print(_result_rows([kimbap, vite, galois]))
@@ -99,7 +125,13 @@ def cmd_compare_lv(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     variant = VARIANTS_BY_LABEL[args.variant]
     result = run_kimbap(
-        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
     )
     timeline = result.timeline()
     write_chrome_trace(args.out, timeline)
@@ -120,7 +152,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     variant = VARIANTS_BY_LABEL[args.variant]
     result = run_kimbap(
-        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
     )
     cluster = result.cluster
     costs = top_phases(cluster.log, cluster.cost_model, result.threads, k=args.top)
@@ -165,7 +203,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
     )
     baseline = run_kimbap(
-        args.app, args.graph, args.hosts, variant=variant, threads=args.threads
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
     )
     faulted = run_kimbap(
         args.app,
@@ -174,6 +218,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         variant=variant,
         threads=args.threads,
         fault_plan=plan,
+        bulk=args.bulk,
+        jobs=args.jobs,
     )
     print(_result_rows([baseline, faulted]))
     if faulted.outcome != "ok":
@@ -275,12 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--graph", choices=sorted(GRAPHS), default="road")
         sub_parser.add_argument("--hosts", type=int, default=4)
         sub_parser.add_argument("--threads", type=int, default=48)
+        sub_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="simulator worker processes (host-shard parallel execution; "
+            "results are byte-identical to --jobs 1)",
+        )
+        sub_parser.add_argument(
+            "--bulk",
+            action="store_true",
+            help="use the vectorized bulk kernel backend (byte-identical)",
+        )
 
     run = sub.add_parser("run", help="run one application on the simulated cluster")
     run.add_argument("app", choices=sorted(KIMBAP_APPS))
     common(run)
     run.add_argument(
         "--variant", choices=sorted(VARIANTS_BY_LABEL), default=RuntimeVariant.KIMBAP.label
+    )
+    run.add_argument(
+        "--report", default=None, help="also write the RunResult JSON here"
     )
     run.set_defaults(fn=cmd_run)
 

@@ -789,6 +789,51 @@ class NodePropMap:
             canonical = len(store.owned)
         return canonical + store.remote_cache_size
 
+    def export_compute_effects(self, host: int) -> tuple:
+        """One host's compute-phase side effects, for the host-shard
+        exchange (``repro.exec.pool``).
+
+        Compute phases mutate exactly four things on the computing host:
+        the pending reduction state, the request bitset, the duplicate
+        request log, and the map's bound reduction operator. Everything
+        else (stores, activity sets, updated flags) changes only during
+        sync collectives, which every process replays identically. The
+        state is *cumulative* since the last reduce-sync, so installing an
+        export replaces the receiver's copy wholesale - re-installing a
+        newer export of the same host stays correct (replacement, not
+        accumulation). The operator ships by name: ``ReduceOp`` closes
+        over lambdas, which do not cross process boundaries.
+        """
+        return (
+            self._op.name if self._op is not None else None,
+            self.reductions[host].export_state(),
+            self.bitsets[host].export_state(),
+            list(self._dup_requests[host]),
+        )
+
+    def install_compute_effects(
+        self, host: int, effects: tuple, resolve_op: Callable[[str, str], ReduceOp]
+    ) -> None:
+        """Install another process's exported compute effects for ``host``.
+
+        ``resolve_op(map_name, op_name)`` maps a shipped operator name back
+        to a live ``ReduceOp`` (the pool builds the table from the named
+        reducers plus the plan's kernels).
+        """
+        op_name, reduction_state, request_bits, dup_requests = effects
+        if op_name is not None:
+            if self._op is None:
+                self._op = resolve_op(self.name, op_name)
+            elif self._op.name != op_name:
+                raise ValueError(
+                    f"map {self.name!r} reduced with {op_name!r} on another "
+                    f"process after {self._op.name!r} here; a map uses a "
+                    "single reduction operator per loop"
+                )
+        self.reductions[host].install_state(reduction_state)
+        self.bitsets[host].install_state(request_bits)
+        self._dup_requests[host] = list(dup_requests)
+
     def checkpoint_state(self) -> dict:
         """Copy all mutable distributed state, for restore-and-replay.
 

@@ -43,3 +43,25 @@ LOGICAL_AND = ReduceOp("and", lambda a, b: bool(a) and bool(b))
 # exist to make call sites state their intent (reduce-by-(key, payload)).
 PAIR_MIN = ReduceOp("pair_min", min)
 PAIR_MAX = ReduceOp("pair_max", max)
+# Last-write-wins "reduction": rebuild-style operators (PageRank's rank
+# rebuild) overwrite the property rather than fold into it.
+OVERWRITE = ReduceOp("overwrite", lambda old, new: new)
+
+# Operators resolvable by name across process boundaries: ``ReduceOp``
+# instances close over lambdas, so the host-shard execution layer
+# (``repro.exec.pool``) ships the *name* in its effect bundles and
+# resolves it against this table (plus any operators harvested from the
+# plan's kernels, which covers algorithm-local custom reducers).
+NAMED_REDUCE_OPS: dict[str, ReduceOp] = {
+    op.name: op
+    for op in (
+        MIN,
+        MAX,
+        SUM,
+        LOGICAL_OR,
+        LOGICAL_AND,
+        PAIR_MIN,
+        PAIR_MAX,
+        OVERWRITE,
+    )
+}

@@ -160,6 +160,21 @@ class ThreadLocalReduction:
             total += int(self._batch[1].size)
         return total
 
+    def export_state(self) -> tuple:
+        """Complete pending-reduction state, for the host-shard exchange
+        (``repro.exec.pool``). The returned structure crosses a process
+        boundary via pickle, so sharing references with the live maps is
+        fine - the pipe serializes a snapshot."""
+        return ("tl", self.maps, self._batch)
+
+    def install_state(self, state: tuple) -> None:
+        """Replace the pending state with an exported snapshot."""
+        tag, maps, batch = state
+        if tag != "tl":  # pragma: no cover - strategies never change mid-run
+            raise ValueError(f"cannot install {tag!r} state into a CF reduction")
+        self.maps = list(maps)
+        self._batch = batch
+
     @property
     def bulk_state_only(self) -> bool:
         """True when no thread holds dict state, so collect_arrays() can
@@ -373,6 +388,39 @@ class SharedMapReduction:
         if self._bulk_keys is not None:
             total += int(self._bulk_keys.size)
         return total
+
+    def export_state(self) -> tuple:
+        """Complete pending state including the conflict-accounting tables,
+        for the host-shard exchange (see ``ThreadLocalReduction``)."""
+        return (
+            "sm",
+            self.map,
+            self._writers,
+            self._map_writers,
+            self._write_count,
+            self._bulk_keys,
+            self._bulk_vals,
+            self._bulk_first_writer,
+            self._bulk_multi,
+        )
+
+    def install_state(self, state: tuple) -> None:
+        """Replace the pending state with an exported snapshot."""
+        if state[0] != "sm":  # pragma: no cover - strategies never change
+            raise ValueError(
+                f"cannot install {state[0]!r} state into a shared-map reduction"
+            )
+        (
+            _,
+            self.map,
+            self._writers,
+            self._map_writers,
+            self._write_count,
+            self._bulk_keys,
+            self._bulk_vals,
+            self._bulk_first_writer,
+            self._bulk_multi,
+        ) = state
 
     @property
     def bulk_state_only(self) -> bool:

@@ -267,13 +267,17 @@ def run_kimbap(
     fault_plan: FaultPlan | None = None,
     memory_limit_slots: int | None = None,
     bulk: bool = False,
+    jobs: int = 1,
     **kwargs: Any,
 ) -> RunResult:
     """Run a Kimbap application on the simulated cluster.
 
     ``bulk`` selects the executor backend (scalar reference vs vectorized
     bulk) for the whole run - the backend is an executor property, not a
-    per-algorithm flag, so every application supports it.
+    per-algorithm flag, so every application supports it. ``jobs`` fans
+    shardable compute phases out to that many OS processes
+    (``repro.exec.pool``); it composes with either backend and preserves
+    byte-identical results by contract.
 
     With a ``fault_plan``, the run executes under deterministic fault
     injection (``repro.faults``) and the result carries the structured
@@ -290,7 +294,7 @@ def run_kimbap(
     injector = None
     if fault_plan is not None:
         injector = install_faults(cluster, fault_plan)
-    executor = Executor(cluster, bulk=bulk)
+    executor = Executor(cluster, bulk=bulk, jobs=jobs)
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:
         result = KIMBAP_APPS[app](

@@ -1,4 +1,4 @@
-"""The plan executor: one algorithm spec, two execution backends.
+"""The plan executor: one algorithm spec, three execution backends.
 
 ``Executor`` runs :class:`repro.exec.plan.Plan` objects. Construction
 picks the backend: ``bulk=False`` executes operator kernels with the
@@ -9,6 +9,13 @@ metering pipeline, so an algorithm expressed once as a plan is
 byte-identical across backends (counters, conflicts, modeled seconds,
 values) - the contract ``tests/test_bulk_equivalence.py`` enforces for
 all twelve algorithms.
+
+``jobs=N`` composes with either kernel backend: each plan run forks
+``N - 1`` worker processes that replay the same plan loop over disjoint
+host shards and exchange per-phase effect bundles with the coordinator
+(see :mod:`repro.exec.pool`), merged in fixed host order so the run
+stays byte-identical to ``jobs=1`` - the contract
+``tests/test_parallel_equivalence.py`` enforces.
 
 :class:`~repro.exec.plan.ScalarKernel` bodies run as the same scalar
 loop on both backends (the way the MC runtime variant degrades to the
@@ -43,6 +50,7 @@ from repro.exec.plan import (
     ScalarKernel,
     SyncStep,
 )
+from repro.exec.pool import HostShardPool, create_pool
 from repro.faults.recovery import run_recoverable_loop
 from repro.runtime.engine import (
     BulkOperatorContext,
@@ -80,10 +88,15 @@ class Executor:
         cluster: Cluster,
         bulk: bool = False,
         observer: Callable[[Plan], None] | None = None,
+        jobs: int = 1,
     ) -> None:
         self.cluster = cluster
         self.bulk = bool(bulk)
         self.observer = observer
+        # jobs > 1 fans shardable compute phases out to jobs processes
+        # (coordinator included); merge order keeps results byte-identical.
+        self.jobs = max(1, int(jobs))
+        self._pool: HostShardPool | None = None
 
     # ------------------------------------------------------ map lifecycle
 
@@ -110,6 +123,25 @@ class Executor:
         """Execute a plan; returns completed rounds (0 for ``once`` plans)."""
         if self.observer is not None:
             self.observer(plan)
+        if self.jobs > 1 and self._pool is None:
+            # One process group per plan run: fork here (workers inherit
+            # the current state copy-on-write), drive the plan everywhere,
+            # reap on the way out. create_pool returns None when
+            # parallelism cannot apply, and the serial path runs as-is.
+            pool = create_pool(self, plan)
+            if pool is not None:
+                self._pool = pool
+                try:
+                    return self._drive(plan)
+                finally:
+                    self._pool = None
+                    pool.shutdown()
+        return self._drive(plan)
+
+    def _drive(self, plan: Plan) -> int:
+        """The plan loop proper, replayed identically by every process of
+        a parallel run (the pool endpoint decides shard vs replicated work
+        per phase inside :meth:`_run_operator`)."""
         if plan.once:
             self.run_round(plan)
             return 0
@@ -202,6 +234,13 @@ class Executor:
         else:  # pragma: no cover - the kernel union is closed
             raise TypeError(f"unknown kernel form {kernel!r}")
         driver = par_for_bulk if self.bulk and not isinstance(kernel, ScalarKernel) else par_for
+        pool = self._pool
+        if pool is not None and pool.shardable(operator):
+            pool.run_sharded(self.cluster, driver, pgraph, operator, body)
+            return
+        # Serial run, or a phase the plan metadata cannot prove shardable:
+        # every process executes every host (replicated - state stays
+        # identical across the group with no exchange).
         driver(
             self.cluster,
             pgraph,

@@ -1,0 +1,436 @@
+"""Host-shard parallel execution: the ``jobs=N`` executor backend.
+
+The paper's whole execution model is BSP: per-host work inside a compute
+phase is independent by construction, and hosts only exchange state at
+the sync barriers. This module exploits exactly that structure to make
+the *simulator's* wall clock scale with real cores while preserving the
+byte-identity contract of the serial backends.
+
+Design: **forked replicated state machines with a per-phase effect
+exchange.**
+
+* At ``Executor.run(plan)`` with ``jobs > 1`` the coordinator forks
+  ``jobs - 1`` worker processes (POSIX ``fork``, copy-on-write). Every
+  process - coordinator included - then replays the *identical* plan
+  loop: host steps, resets, sync collectives, checkpoint/recovery, and
+  fault-injection draws all run everywhere, so each process's replica of
+  the cluster state evolves deterministically in lockstep. Fork-time
+  inheritance is what makes this possible without pickling kernels: the
+  workers share every closure, graph array, and map with the coordinator
+  at the fork point, and copy-on-write keeps the read-mostly bulk (CSR
+  arrays, store vectors) physically shared.
+* Only *shardable compute phases* divide work: each process drives
+  ``par_for``/``par_for_bulk`` over its own contiguous host shard. After
+  the phase, workers ship per-host **effect bundles** - the pending
+  reduction state, request bitsets, duplicate-request logs, the bound
+  reduction operator (by name: ``ReduceOp`` closes over lambdas), the
+  per-host :class:`~repro.cluster.metrics.Counters`, and the phase's
+  message rows - to the coordinator over a pipe. The coordinator merges
+  them into its authoritative phase record **in fixed host order** and
+  returns each worker the complement, so every process enters the next
+  (replayed) sync phase with the complete per-host state. Exported
+  state is cumulative since the last reduce-sync, so installs replace
+  rather than accumulate - re-installation is idempotent.
+* Phases that are *not* shardable (key-value-store variants, kernels
+  that mutate host-global state, bodies whose reducers cannot be
+  resolved by name) simply run **replicated**: every process executes
+  every host, which keeps all replicas identical with no exchange at
+  all. Correct first, fast where the declared metadata proves it safe.
+
+The coordinator's metrics log, counters, conflict counts, modeled
+seconds, and trace rows therefore evolve exactly as a serial run's
+would: the serial backend stays the oracle, and
+``tests/test_parallel_equivalence.py`` enforces ``RunResult.to_dict()``
+byte-identity across ``jobs`` for all twelve algorithms.
+
+Why not ``multiprocessing.shared_memory`` buffers? Fork-time
+copy-on-write already gives zero-copy sharing of every numpy store
+array on POSIX, without a second lifetime to manage; only the per-phase
+*deltas* cross process boundaries, and those are small, irregular
+structures (dicts of pending reductions, bitset indices) for which
+pickling over a pipe is the honest encoding. The bundles are the
+explicit protocol; the shared memory is implicit in ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.cluster.metrics import PhaseRecord
+from repro.core.reducers import NAMED_REDUCE_OPS, ReduceOp
+from repro.exec.plan import (
+    DegreeReduce,
+    EdgePush,
+    NodeUpdate,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.executor import Executor
+
+
+def fork_available() -> bool:
+    """Parallel execution needs POSIX fork (workers inherit closures)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_hosts(num_hosts: int, shards: int) -> list[tuple[int, ...]]:
+    """Contiguous balanced host shards, ascending.
+
+    Shard ``s`` owns hosts ``[s*H//N, (s+1)*H//N)`` - the same closed-form
+    dealing as the OpenMP-static thread chunks. Concatenating the shards
+    in shard order yields ``0..H-1``, which is what lets the coordinator
+    merge worker bundles in fixed host order by walking workers in index
+    order.
+    """
+    shards = max(1, min(shards, num_hosts))
+    return [
+        tuple(range(s * num_hosts // shards, (s + 1) * num_hosts // shards))
+        for s in range(shards)
+    ]
+
+
+# --------------------------------------------------------------- plan tables
+
+
+def _effect_carrier(obj: Any) -> bool:
+    return hasattr(obj, "export_compute_effects")
+
+
+def _map_table(plan: Plan) -> dict[str, Any]:
+    """Every effect carrier the plan names, keyed by name (identical on
+    all processes: the table is built before the fork, or from the forked
+    copy of the same plan object)."""
+    table: dict[str, Any] = {}
+
+    def put(obj: Any) -> None:
+        if obj is not None and _effect_carrier(obj):
+            table[obj.name] = obj
+
+    for step in plan.steps:
+        if isinstance(step, OperatorStep):
+            kernel = step.operator.kernel
+            for attr in ("target", "source", "require_active"):
+                put(getattr(kernel, attr, None))
+            for extra in getattr(kernel, "extra_effects", ()):
+                put(extra)
+        else:
+            put(getattr(step, "map", None))
+    for prop in plan.quiesce:
+        put(prop)
+    for prop in plan.maps:
+        put(prop)
+    return table
+
+
+def _op_table(plan: Plan) -> dict[str, ReduceOp]:
+    """Reducers resolvable by name: the canonical registry plus every
+    operator object the plan's kernels carry (covers algorithm-local
+    custom reducers like Louvain's pair_sum)."""
+    ops = dict(NAMED_REDUCE_OPS)
+    for step in plan.steps:
+        if not isinstance(step, OperatorStep):
+            continue
+        kernel = step.operator.kernel
+        op = getattr(kernel, "op", None)
+        if op is not None:
+            ops[op.name] = op
+        for extra in getattr(kernel, "ops", ()):
+            ops[extra.name] = extra
+    return ops
+
+
+def _phase_carriers(
+    operator: Operator, by_name: dict[str, Any], ops: dict[str, ReduceOp]
+) -> list[Any] | None:
+    """The effect carriers of one compute phase, or None when the phase
+    must run replicated instead of sharded.
+
+    The declarative kernel forms are shardable by construction (their
+    only mutations are host-local reductions into the target). A
+    ``ScalarKernel`` is shardable when it declares itself host-local,
+    every map it names resolves, and every reducer it writes with is
+    resolvable by name across processes. Key-value-store maps are never
+    shardable: their reductions hit shared server shards and the network
+    immediately.
+    """
+    kernel = operator.kernel
+    if isinstance(kernel, (EdgePush, NodeUpdate, DegreeReduce)):
+        carriers = [kernel.target]
+    elif isinstance(kernel, ScalarKernel):
+        if not kernel.host_local:
+            return None
+        names: list[str] = []
+        for name in kernel.read_names:
+            if name not in names:
+                names.append(name)
+        for name, op_name in kernel.write_names:
+            if name not in names:
+                names.append(name)
+            if op_name not in ops:
+                return None
+        carriers = []
+        for name in names:
+            carrier = by_name.get(name)
+            if carrier is None:
+                return None
+            carriers.append(carrier)
+        carriers.extend(kernel.extra_effects)
+    else:  # pragma: no cover - the kernel union is closed
+        return None
+    for carrier in carriers:
+        variant = getattr(carrier, "variant", None)
+        if variant is not None and variant.uses_kvstore:
+            return None
+    return carriers
+
+
+# ------------------------------------------------------------- the endpoint
+
+
+def _send(conn, kind: str, payload: Any) -> None:
+    """Explicitly pickled send: highest protocol (numpy arrays go as raw
+    buffers), and the coordinator can serialize its phase broadcast once
+    and fan the same bytes out to every worker."""
+    conn.send_bytes(pickle.dumps((kind, payload), pickle.HIGHEST_PROTOCOL))
+
+
+def _recv(conn, who: str) -> Any:
+    try:
+        kind, payload = pickle.loads(conn.recv_bytes())
+    except EOFError:
+        raise RuntimeError(
+            f"parallel execution lost {who} mid-phase (pipe closed); "
+            "the processes diverged or the peer crashed"
+        ) from None
+    if kind == "err":
+        raise RuntimeError(f"parallel worker failed:\n{payload}")
+    return payload
+
+
+class HostShardPool:
+    """One plan run's process group: coordinator endpoint in the parent,
+    worker endpoint (same object, mutated post-fork) in each child."""
+
+    def __init__(self, executor: "Executor", plan: Plan, jobs: int) -> None:
+        cluster = executor.cluster
+        self.num_hosts = cluster.num_hosts
+        self.shards = shard_hosts(self.num_hosts, jobs)
+        self.index = 0
+        self.shard: Sequence[int] = self.shards[0]
+        self.is_worker = False
+        self.conn = None
+        self.workers: list[tuple[Any, Any]] = []
+        by_name = _map_table(plan)
+        self._ops = _op_table(plan)
+        # Shardability is decided once per plan, before the fork, so every
+        # process derives the identical sharded/replicated schedule.
+        self._carriers: dict[int, list[Any] | None] = {}
+        for step in plan.steps:
+            if isinstance(step, OperatorStep):
+                self._carriers[id(step.operator)] = _phase_carriers(
+                    step.operator, by_name, self._ops
+                )
+
+    def has_shardable_phase(self) -> bool:
+        return any(c is not None for c in self._carriers.values())
+
+    def fork_workers(self, executor: "Executor", plan: Plan) -> None:
+        ctx = multiprocessing.get_context("fork")
+        pipes = [ctx.Pipe() for _ in self.shards[1:]]
+        for index in range(1, len(self.shards)):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(executor, plan, self, index, pipes),
+                daemon=True,
+                name=f"repro-host-shard-{index}",
+            )
+            process.start()
+            self.workers.append((process, pipes[index - 1][0]))
+        for _, child_end in pipes:
+            child_end.close()
+
+    # -- operator-phase execution ------------------------------------------
+
+    def shardable(self, operator: Operator) -> bool:
+        return self._carriers.get(id(operator)) is not None
+
+    def run_sharded(self, cluster, driver, pgraph, operator: Operator, body) -> None:
+        """Drive one shardable phase over the local shard, then exchange
+        effect bundles so every process ends the phase with full state."""
+        driver(
+            cluster,
+            pgraph,
+            operator.space,
+            body,
+            kind=operator.kind,
+            label=operator.label,
+            hosts=self.shard,
+        )
+        record = cluster.log.phases[-1]
+        carriers = self._carriers[id(operator)]
+        if self.is_worker:
+            _send(self.conn, "fx", self._export(carriers, self.shard, record))
+            merged = _recv(self.conn, "the coordinator")
+            for index, payload in enumerate(merged):
+                if index != self.index:
+                    self._install(carriers, payload, record=None)
+            return
+        # Coordinator: collect every worker's bundle first, then merge in
+        # worker order - shards are contiguous ascending, so worker order
+        # IS host order and the merged record is byte-identical to the
+        # serial visit. The broadcast back simply forwards the bundles it
+        # just received (plus its own shard's export): serialized once,
+        # the identical bytes fan out to every worker, and each worker
+        # skips its own entry.
+        payloads = [self._export(carriers, self.shard, record=None)]
+        payloads += [
+            _recv(conn, f"worker {index} (pid {process.pid})")
+            for index, (process, conn) in enumerate(self.workers, start=1)
+        ]
+        for payload in payloads[1:]:
+            self._install(carriers, payload, record=record)
+        blob = pickle.dumps(("mg", payloads), pickle.HIGHEST_PROTOCOL)
+        for _, conn in self.workers:
+            conn.send_bytes(blob)
+
+    # -- bundles -----------------------------------------------------------
+
+    def _export(
+        self, carriers: list[Any], hosts: Sequence[int], record: PhaseRecord | None
+    ) -> dict:
+        """Effect bundle for ``hosts``: per-carrier per-host state, plus -
+        from workers - the shard's counters and the phase's message rows."""
+        bundle: dict[str, Any] = {
+            "hosts": tuple(hosts),
+            "effects": [
+                [carrier.export_compute_effects(host) for host in hosts]
+                for carrier in carriers
+            ],
+        }
+        if record is not None:
+            bundle["counters"] = [record.counters[host] for host in hosts]
+            bundle["net"] = (
+                list(record.msgs_sent),
+                list(record.bytes_sent),
+                list(record.msgs_recv),
+                list(record.bytes_recv),
+            )
+        return bundle
+
+    def _install(
+        self, carriers: list[Any], bundle: dict, record: PhaseRecord | None
+    ) -> None:
+        hosts = bundle["hosts"]
+        for carrier, per_host in zip(carriers, bundle["effects"]):
+            for host, effects in zip(hosts, per_host):
+                carrier.install_compute_effects(host, effects, self.resolve_op)
+        if record is None or "counters" not in bundle:
+            return
+        for host, counters in zip(hosts, bundle["counters"]):
+            record.counters[host].add(counters)
+        msgs_sent, bytes_sent, msgs_recv, bytes_recv = bundle["net"]
+        for host in range(self.num_hosts):
+            record.msgs_sent[host] += msgs_sent[host]
+            record.bytes_sent[host] += bytes_sent[host]
+            record.msgs_recv[host] += msgs_recv[host]
+            record.bytes_recv[host] += bytes_recv[host]
+
+    def resolve_op(self, map_name: str, op_name: str) -> ReduceOp:
+        try:
+            return self._ops[op_name]
+        except KeyError:
+            raise RuntimeError(
+                f"reducer {op_name!r} for map {map_name!r} cannot be "
+                "resolved across processes; declare the operator via "
+                "ScalarKernel(ops=...) so the plan carries a live object"
+            ) from None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Coordinator teardown: closing the pipes unblocks any worker
+        still waiting in recv (it sees EOF and exits), then reap."""
+        for _, conn in self.workers:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - double close is benign
+                pass
+        for process, _ in self.workers:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung-worker backstop
+                process.terminate()
+                process.join(timeout=5)
+        self.workers = []
+
+
+def create_pool(executor: "Executor", plan: Plan) -> HostShardPool | None:
+    """Build and fork the pool for one plan run, or None when parallelism
+    cannot help: a single host, no fork on this platform, or no phase the
+    metadata proves shardable (then the serial path is already optimal
+    and correct)."""
+    jobs = min(executor.jobs, executor.cluster.num_hosts)
+    if jobs < 2 or not fork_available():
+        return None
+    pool = HostShardPool(executor, plan, jobs)
+    if not pool.has_shardable_phase():
+        return None
+    pool.fork_workers(executor, plan)
+    return pool
+
+
+def _worker_main(
+    executor: "Executor", plan: Plan, pool: HostShardPool, index: int, pipes
+) -> None:
+    """Worker entry, running in the forked child only.
+
+    The child inherited the coordinator's entire state copy-on-write, so
+    it simply replays the same plan loop with its pool endpoint switched
+    to worker mode. Deterministic exceptions (non-quiescence, simulated
+    OOM) replay here too; the error bundle only matters when the worker
+    diverges or hits a worker-only failure, in which case the coordinator
+    surfaces it at the next exchange. ``os._exit`` skips the inherited
+    atexit/teardown machinery - this process must not flush the parent's
+    buffers or touch its resources on the way out.
+    """
+    status = 1
+    conn = pipes[index - 1][1]
+    try:
+        for i, (parent_end, child_end) in enumerate(pipes):
+            parent_end.close()
+            if i != index - 1:
+                child_end.close()
+        pool.is_worker = True
+        pool.index = index
+        pool.shard = pool.shards[index]
+        pool.conn = conn
+        pool.workers = []
+        executor._pool = pool
+        executor._drive(plan)
+        status = 0
+    except BaseException:
+        try:
+            _send(conn, "err", traceback.format_exc()[-8000:])
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(status)
+
+
+__all__ = [
+    "HostShardPool",
+    "create_pool",
+    "fork_available",
+    "shard_hosts",
+]

@@ -1,0 +1,248 @@
+"""Unit coverage for the host-shard pool's building blocks, the thread
+boundary cache (satellite perf fix), and the ``bulk=`` deprecation shim.
+
+The end-to-end byte-identity contract lives in
+``tests/test_parallel_equivalence.py``; these tests pin the deterministic
+pieces the pool relies on: shard geometry, the per-phase shardability
+decisions derived from plan metadata, and operator resolution by name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.cc_sv import cc_sv_hook_plan
+from repro.algorithms.common import resolve_executor
+from repro.cluster import Cluster
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import MIN, ReduceOp
+from repro.core.variants import RuntimeVariant
+from repro.eval.harness import run_kimbap
+from repro.exec import (
+    EdgePush,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ScalarKernel,
+)
+from repro.exec.pool import HostShardPool, shard_hosts
+from repro.graph import generators
+from repro.partition.policies import partition
+from repro.runtime.bool_reducer import BoolReducer
+
+
+# --------------------------------------------------------- shard geometry
+
+
+class TestShardHosts:
+    @pytest.mark.parametrize("num_hosts", (1, 2, 3, 4, 7, 16))
+    @pytest.mark.parametrize("shards", (1, 2, 3, 4, 5))
+    def test_partition_properties(self, num_hosts, shards):
+        parts = shard_hosts(num_hosts, shards)
+        # Concatenating shards in shard order is exactly 0..H-1: the
+        # coordinator's merge-in-worker-order IS host order.
+        flat = [h for part in parts for h in part]
+        assert flat == list(range(num_hosts))
+        # Contiguous and balanced (sizes differ by at most one).
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_clamps_to_host_count(self):
+        assert shard_hosts(2, 8) == [(0,), (1,)]
+        assert shard_hosts(4, 1) == [(0, 1, 2, 3)]
+        assert shard_hosts(4, 0) == [(0, 1, 2, 3)]
+
+
+# ------------------------------------------- shardability from plan metadata
+
+
+@pytest.fixture
+def setup():
+    graph = generators.erdos_renyi(24, 2.0, seed=5)
+    cluster = Cluster(4, threads_per_host=2)
+    pgraph = partition(graph, 4, "cvc")
+    return cluster, pgraph
+
+
+def _pool(cluster, plan):
+    # Build the pool's decision tables without forking workers.
+    return HostShardPool(Executor(cluster, jobs=2), plan, jobs=2)
+
+
+def _first_operator(plan):
+    return next(
+        step.operator for step in plan.steps if isinstance(step, OperatorStep)
+    )
+
+
+class TestShardability:
+    def test_declared_scalar_kernel_is_shardable(self, setup):
+        cluster, pgraph = setup
+        parent = NodePropMap(cluster, pgraph, "parent")
+        work = BoolReducer(cluster, "work")
+        plan = cc_sv_hook_plan(pgraph, parent, work)
+        pool = _pool(cluster, plan)
+        assert pool.has_shardable_phase()
+        assert pool.shardable(_first_operator(plan))
+
+    def test_edge_push_is_shardable(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "dist")
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(
+                    Operator("push", "all", EdgePush(target=target, op=MIN))
+                )
+            ],
+            once=True,
+        )
+        assert _pool(cluster, plan).shardable(_first_operator(plan))
+
+    def test_host_global_kernel_runs_replicated(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "m")
+        kernel = ScalarKernel(
+            lambda ctx: None,
+            write_names=((target.name, MIN.name),),
+            host_local=False,
+        )
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[OperatorStep(Operator("op", "masters", kernel))],
+            maps=(target,),
+            once=True,
+        )
+        pool = _pool(cluster, plan)
+        assert not pool.shardable(_first_operator(plan))
+        assert not pool.has_shardable_phase()
+
+    def test_unresolvable_reducer_runs_replicated(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "m")
+        # A write through a reducer the plan does not carry (no ops=
+        # declaration): the phase must degrade to replication, not error.
+        kernel = ScalarKernel(
+            lambda ctx: None, write_names=((target.name, "bespoke"),)
+        )
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[OperatorStep(Operator("op", "masters", kernel))],
+            maps=(target,),
+            once=True,
+        )
+        assert not _pool(cluster, plan).shardable(_first_operator(plan))
+
+    def test_declared_ops_make_custom_reducer_shardable(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "m")
+        bespoke = ReduceOp("bespoke", lambda a, b: a + b)
+        kernel = ScalarKernel(
+            lambda ctx: None,
+            write_names=((target.name, "bespoke"),),
+            ops=(bespoke,),
+        )
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[OperatorStep(Operator("op", "masters", kernel))],
+            maps=(target,),
+            once=True,
+        )
+        pool = _pool(cluster, plan)
+        assert pool.shardable(_first_operator(plan))
+        assert pool.resolve_op(target.name, "bespoke") is bespoke
+
+    def test_kvstore_variant_runs_replicated(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "mc", variant=RuntimeVariant.MC)
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(
+                    Operator("push", "all", EdgePush(target=target, op=MIN))
+                )
+            ],
+            once=True,
+        )
+        assert not _pool(cluster, plan).shardable(_first_operator(plan))
+
+    def test_resolve_op_error_names_the_fix(self, setup):
+        cluster, pgraph = setup
+        target = NodePropMap(cluster, pgraph, "m")
+        plan = Plan(
+            name="p",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(
+                    Operator("push", "all", EdgePush(target=target, op=MIN))
+                )
+            ],
+            once=True,
+        )
+        pool = _pool(cluster, plan)
+        with pytest.raises(RuntimeError, match=r"ScalarKernel\(ops=\.\.\.\)"):
+            pool.resolve_op("m", "no-such-op")
+
+
+# ------------------------------------- thread boundary cache (satellite 1)
+
+
+class TestBoundaryCache:
+    def test_repeated_lookups_hit(self):
+        cluster = Cluster(2, threads_per_host=4)
+        first = cluster.thread_boundaries(100)
+        again = cluster.thread_boundaries(100)
+        assert again is first
+        assert not again.flags.writeable
+        assert cluster.boundary_cache_misses == 1
+        assert cluster.boundary_cache_hits == 1
+        threads = cluster.threads_of(100)
+        assert cluster.threads_of(100) is threads
+        # threads_of(100) reused the cached bounds, then its own cache;
+        # neither lookup re-derived the boundaries, so misses stay at 1.
+        assert cluster.boundary_cache_hits == 3
+        assert cluster.boundary_cache_misses == 1
+
+    def test_boundaries_match_closed_form(self):
+        cluster = Cluster(1, threads_per_host=3)
+        bounds = cluster.thread_boundaries(10)
+        assert bounds.tolist() == [0, 4, 7, 10]
+        assert cluster.threads_of(10).tolist() == [0] * 4 + [1] * 3 + [2] * 3
+
+    def test_repeated_rounds_hit_the_cache(self):
+        """The micro-benchmark: a real multi-round run re-deals the same
+        per-host item counts every round, so hits must dwarf misses (the
+        miss count is bounded by the distinct item counts, not rounds)."""
+        graph = generators.erdos_renyi(40, 3.0, seed=3)
+        result = run_kimbap("PR", "bench", 4, graph=graph, threads=4, bulk=True)
+        cluster = result.cluster
+        assert result.rounds > 2
+        assert cluster.boundary_cache_misses <= 8
+        assert cluster.boundary_cache_hits > cluster.boundary_cache_misses
+
+
+# --------------------------------------- bulk= deprecation shim (satellite 2)
+
+
+class TestBulkDeprecationShim:
+    def test_warns_and_points_at_executor(self):
+        cluster = Cluster(2, threads_per_host=2)
+        with pytest.warns(DeprecationWarning, match=r"Executor\(bulk=\.\.\.\)"):
+            executor = resolve_executor(cluster, None, bulk=True, name="pagerank")
+        assert executor.bulk is True
+
+    def test_explicit_executor_does_not_warn(self):
+        import warnings
+
+        cluster = Cluster(2, threads_per_host=2)
+        executor = Executor(cluster, bulk=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_executor(cluster, executor, bulk=None)
+        assert resolved is executor
