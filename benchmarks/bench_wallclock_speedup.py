@@ -14,18 +14,21 @@ the CI smoke job doubles as the equivalence gate.
 
 On runners with at least 4 cores the script additionally gates on real
 parallel speedup: the headline cell's scalar ``jobs=4`` run must beat
-scalar ``jobs=1`` by ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 1.8x).
-The scalar backend is the honest parallelism demonstration: its compute
-phases dominate the run, so host-shard processes scale it. The bulk
-backend's vectorized baseline is the COST caution (PAPERS.md) in action -
-at default scale its compute phases are ~30% of wall-clock (replicated
-sync collectives and setup dominate), so by Amdahl's law jobs cannot
-reach 1.8x there; the bulk jobs ratios are recorded ungated so the
-trajectory shows where the crossover lands as scale grows.
+scalar ``jobs=1`` by ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 1.8x),
+and bulk ``jobs=2`` must beat bulk ``jobs=1`` by
+``REPRO_BENCH_MIN_BULK_J2_SPEEDUP`` (default 1.3x). The scalar backend is
+the easy parallelism demonstration: its compute phases dominate the run.
+The bulk gate is the honest one (the COST caution of PAPERS.md): the
+vectorized baseline is fast, so winning against it demands the
+shared-memory aggregated exchange of ``repro.exec.pool`` - persistent
+warm workers, one zero-copy bundle per worker per sync boundary - rather
+than per-phase pickled round-trips. The report records the exchange
+instrumentation (``bytes_exchanged``, ``segments_peak``) per cell so the
+aggregation win is visible in the artifact.
 Single-core machines still verify the full equivalence matrix - the
 determinism contract is core-count independent - and record the measured
 ratios without gating; set ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force the
-gate regardless of core count.
+gates regardless of core count.
 
 Outputs ``benchmarks/reports/bench_wallclock_speedup.{json,txt}`` in the
 standard ``repro-bench-report/v1`` schema. Environment knobs match the
@@ -71,7 +74,10 @@ HEADERS = (
     "bulk j4(s)",
     "bulk/scalar",
     "scalar j4/j1",
+    "bulk j2/j1",
     "bulk j4/j1",
+    "exchanged",
+    "segs",
     "identical",
 )
 
@@ -82,6 +88,10 @@ def fast_mode() -> bool:
 
 def min_parallel_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "1.8"))
+
+
+def min_bulk_j2_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_BULK_J2_SPEEDUP", "1.3"))
 
 
 def gate_speedup() -> bool:
@@ -132,6 +142,10 @@ def run_cell(app: str, graph_name: str, hosts: int) -> dict:
         if key != "scalar_j1"
         and (canonical(result) != oracle_bytes or result.values != oracle.values)
     )
+    # Exchange instrumentation of the widest parallel run (bulk jobs=4):
+    # bytes through the shared arenas + pipe fallbacks, peak live
+    # /dev/shm segments, forks, and warm (fork-free) pool reuses.
+    parallel = getattr(results["bulk_j4"], "parallel", None) or {}
     return {
         "app": app,
         "graph": graph_name,
@@ -147,11 +161,20 @@ def run_cell(app: str, graph_name: str, hosts: int) -> dict:
             if wallclock["scalar_j4"] > 0
             else float("inf")
         ),
+        "bulk_j2_speedup": (
+            wallclock["bulk_j1"] / wallclock["bulk_j2"]
+            if wallclock["bulk_j2"] > 0
+            else float("inf")
+        ),
         "bulk_parallel_speedup": (
             wallclock["bulk_j1"] / wallclock["bulk_j4"]
             if wallclock["bulk_j4"] > 0
             else float("inf")
         ),
+        "bytes_exchanged": int(parallel.get("bytes_exchanged", 0)),
+        "segments_peak": int(parallel.get("segments_peak", 0)),
+        "pool_forks": int(parallel.get("forks", 0)),
+        "pool_warm_runs": int(parallel.get("warm_runs", 0)),
         "modeled_total_s": oracle.total,
         "identical": not diverged,
         "diverged": diverged,
@@ -175,7 +198,10 @@ def main() -> int:
             f"{r['wallclock_s']['bulk_j4']:.3f}",
             f"{r['bulk_speedup']:.1f}x",
             f"{r['parallel_speedup']:.2f}x",
+            f"{r['bulk_j2_speedup']:.2f}x",
             f"{r['bulk_parallel_speedup']:.2f}x",
+            f"{r['bytes_exchanged'] / 1024:.0f}K",
+            r["segments_peak"],
             "yes" if r["identical"] else "DIVERGED",
         )
         for r in rows
@@ -199,6 +225,7 @@ def main() -> int:
         "cpu_count": os.cpu_count(),
         "speedup_gated": gate_speedup(),
         "min_parallel_speedup": min_parallel_speedup(),
+        "min_bulk_j2_speedup": min_bulk_j2_speedup(),
         "fast_mode": fast_mode(),
     }
     with open(os.path.join(reports_dir, "bench_wallclock_speedup.json"), "w") as handle:
@@ -224,13 +251,25 @@ def main() -> int:
             f"(< {min_parallel_speedup():.1f}x, cpu_count={os.cpu_count()})",
             file=sys.stderr,
         )
+    if gate_speedup() and headline["bulk_j2_speedup"] < min_bulk_j2_speedup():
+        failed = True
+        print(
+            f"SPEEDUP FAILURE: headline {headline['app']} "
+            f"{headline['graph']}@{headline['hosts']} bulk jobs=2 over "
+            f"jobs=1 is {headline['bulk_j2_speedup']:.2f}x "
+            f"(< {min_bulk_j2_speedup():.1f}x, cpu_count={os.cpu_count()})",
+            file=sys.stderr,
+        )
     if failed:
         return 1
     print(
         f"headline: {headline['app']} {headline['graph']}@{headline['hosts']} "
         f"bulk/scalar {headline['bulk_speedup']:.1f}x, "
         f"scalar j4/j1 {headline['parallel_speedup']:.2f}x, "
-        f"bulk j4/j1 {headline['bulk_parallel_speedup']:.2f}x "
+        f"bulk j2/j1 {headline['bulk_j2_speedup']:.2f}x, "
+        f"bulk j4/j1 {headline['bulk_parallel_speedup']:.2f}x, "
+        f"exchanged {headline['bytes_exchanged']} bytes over "
+        f"{headline['segments_peak']} segments "
         f"(cpu_count={os.cpu_count()}, gated={gate_speedup()})"
     )
     return 0

@@ -8,6 +8,7 @@ coarsening step shared by Louvain and Leiden.
 from __future__ import annotations
 
 import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -156,6 +157,28 @@ def shortcut_plan(
     )
 
 
+# Plan cache for the shortcut loops: CC-SV / CC-SCLP / MSF call
+# shortcut_until_flat once per outer round, and the parallel backend
+# (repro.exec.pool) reuses its warm forked workers only for plan objects
+# it has seen - a fresh Plan per call would force a refork every round.
+# Keyed weakly on the parent map so graphs/maps stay collectable.
+_shortcut_plans: "weakref.WeakKeyDictionary[NodePropMap, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _cached_shortcut_plan(
+    pgraph: PartitionedGraph, parent: NodePropMap, max_rounds: int
+) -> Plan:
+    plans = _shortcut_plans.setdefault(parent, {})
+    key = (id(pgraph), max_rounds)
+    plan = plans.get(key)
+    if plan is None:
+        plan = shortcut_plan(pgraph, parent, max_rounds=max_rounds)
+        plans[key] = plan
+    return plan
+
+
 def shortcut_until_flat(
     cluster: Cluster,
     pgraph: PartitionedGraph,
@@ -171,7 +194,7 @@ def shortcut_until_flat(
     """
     if executor is None:
         executor = Executor(cluster)
-    return executor.run(shortcut_plan(pgraph, parent, max_rounds=max_rounds))
+    return executor.run(_cached_shortcut_plan(pgraph, parent, max_rounds))
 
 
 def weighted_degrees(graph: Graph) -> np.ndarray:

@@ -181,6 +181,17 @@ class ThreadLocalReduction:
         fold without materializing Python dicts."""
         return not any(self.maps)
 
+    def discard(self) -> None:
+        """Drop all pending state without folding or charging.
+
+        The host-sharded reduce-sync (``repro.exec.pool``) folds each
+        source host's state on exactly one process - the shard owner, who
+        pays the combine charge - and discards the identical replica
+        everywhere else."""
+        for local_map in self.maps:
+            local_map.clear()
+        self._batch = None
+
     def _charge_combine(self) -> None:
         counters = self.cluster.counters(self.host_id)
         # Each entry is scanned while filtering by range and combined once.
@@ -425,6 +436,15 @@ class SharedMapReduction:
     @property
     def bulk_state_only(self) -> bool:
         return not self.map
+
+    def discard(self) -> None:
+        """Drop pending state without charging (see ``ThreadLocalReduction``)."""
+        self.map.clear()
+        self._writers.clear()
+        self._map_writers.clear()
+        self._write_count = 0
+        self._bulk_keys = self._bulk_vals = None
+        self._bulk_first_writer = self._bulk_multi = None
 
     def collect(self, op: ReduceOp) -> dict[int, Any]:
         del op  # combining happened eagerly, amortized into compute

@@ -297,9 +297,16 @@ def run_kimbap(
     executor = Executor(cluster, bulk=bulk, jobs=jobs)
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:
-        result = KIMBAP_APPS[app](
-            cluster, pgraph, variant=variant, executor=executor, **kwargs
-        )
+        try:
+            result = KIMBAP_APPS[app](
+                cluster, pgraph, variant=variant, executor=executor, **kwargs
+            )
+        finally:
+            # Reap the worker pool (and its /dev/shm segments) no matter
+            # how the run ends; grab the exchange stats first - close()
+            # drops the pool.
+            parallel_stats = executor.parallel_stats()
+            executor.close()
     except SimulatedOutOfMemory as oom:
         run = _failed(
             label,
@@ -336,6 +343,9 @@ def run_kimbap(
         run = _finish(label, app, graph_name, hosts, cluster, result)
     if injector is not None:
         _attach_faults(run, injector, cluster)
+    # Side-channel instrumentation only: not a dataclass field, so it never
+    # enters to_dict() and cannot perturb the byte-identity contract.
+    run.parallel = parallel_stats
     return run
 
 

@@ -123,20 +123,58 @@ class Executor:
         """Execute a plan; returns completed rounds (0 for ``once`` plans)."""
         if self.observer is not None:
             self.observer(plan)
-        if self.jobs > 1 and self._pool is None:
-            # One process group per plan run: fork here (workers inherit
-            # the current state copy-on-write), drive the plan everywhere,
-            # reap on the way out. create_pool returns None when
-            # parallelism cannot apply, and the serial path runs as-is.
-            pool = create_pool(self, plan)
-            if pool is not None:
-                self._pool = pool
-                try:
-                    return self._drive(plan)
-                finally:
-                    self._pool = None
-                    pool.shutdown()
+        pool = self._ensure_pool(plan)
+        # pool.active means this is a nested run launched from a HostStep
+        # of an in-flight parallel run: it replays replicated on every
+        # process (the outer run's replay reaches this same call), so it
+        # must not re-frame the epoch protocol.
+        if pool is not None and not pool.active and pool.begin_run(plan):
+            # The worker group is persistent and warm: begin_run reuses the
+            # forked workers when they already know this plan (epoch blob
+            # resynchronizes their state), reforks when they cannot (new
+            # plan: kernels close over lambdas and only fork inheritance
+            # ships them), and end_run parks them for the next run.
+            failed = True
+            try:
+                rounds = self._drive(plan)
+                failed = False
+                return rounds
+            finally:
+                pool.end_run(failed)
         return self._drive(plan)
+
+    def _ensure_pool(self, plan: Plan):
+        """The executor-lifetime pool (or None while parallelism cannot
+        apply: ``jobs=1``, no fork, or no plan so far with a shardable
+        phase - a later plan may still create it)."""
+        if self.jobs <= 1 or self._pool is not None:
+            return self._pool
+        self._pool = create_pool(self, plan)
+        return self._pool
+
+    def close(self) -> None:
+        """Reap the worker pool and release its shared-memory segments.
+
+        Idempotent; harness and tests call it (or rely on ``__del__``)
+        once the run is over. Worker processes never call it - they exit
+        via ``os._exit`` without touching shared segments.
+        """
+        pool = self._pool
+        if pool is not None and not pool.is_worker:
+            self._pool = None
+            pool.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def parallel_stats(self) -> dict[str, int] | None:
+        """Exchange instrumentation of the parallel backend (None when no
+        pool ever forked): bytes exchanged, peak live shared segments,
+        forks, and warm (fork-free) run reuses."""
+        return None if self._pool is None else self._pool.stats()
 
     def _drive(self, plan: Plan) -> int:
         """The plan loop proper, replayed identically by every process of
@@ -181,17 +219,38 @@ class Executor:
         )
 
     def run_round(self, plan: Plan) -> None:
-        """One pass over the plan's steps (one BSP round)."""
+        """One pass over the plan's steps (one BSP round).
+
+        Any non-operator step is a sync boundary for the parallel pool:
+        deferred sharded-phase effects must be exchanged before a sync
+        collective, reset, or host step reads them, and again at the end
+        of the round (quiescence flags, checkpoints, and between-round
+        callbacks read the merged state).
+        """
+        pool = self._pool
         for step in plan.steps:
             if isinstance(step, OperatorStep):
                 self._run_operator(plan.pgraph, step.operator)
-            elif isinstance(step, SyncStep):
+                continue
+            if pool is not None and pool.active:
+                pool.flush()
+            if isinstance(step, SyncStep):
+                # The sync collectives themselves shard across the pool
+                # (owner-host dealing; see NodePropMap._sgr_reduce_sharded
+                # and _broadcast_sharded) - without this the replicated
+                # reduce/broadcast dominates the bulk run's wall clock and
+                # caps jobs=N speedup well below 2x. Gated off under fault
+                # injection (defer=False) so per-send fault draws replay in
+                # the exact serial order.
+                sync_pool = (
+                    pool if pool is not None and pool.active and pool.defer else None
+                )
                 if step.action == "request":
                     step.map.request_sync()
                 elif step.action == "reduce":
-                    step.map.reduce_sync()
+                    step.map.reduce_sync(pool=sync_pool)
                 else:
-                    step.map.broadcast_sync()
+                    step.map.broadcast_sync(pool=sync_pool)
             elif isinstance(step, ResetStep):
                 if step.elementwise:
                     step.map.reset_values(step.values)
@@ -205,6 +264,8 @@ class Executor:
                 step.fn()
             else:  # pragma: no cover - the step union is closed
                 raise TypeError(f"unknown plan step {step!r}")
+        if pool is not None and pool.active:
+            pool.flush()
 
     # --------------------------------------------------- kernel dispatch
 
@@ -235,9 +296,14 @@ class Executor:
             raise TypeError(f"unknown kernel form {kernel!r}")
         driver = par_for_bulk if self.bulk and not isinstance(kernel, ScalarKernel) else par_for
         pool = self._pool
-        if pool is not None and pool.shardable(operator):
-            pool.run_sharded(self.cluster, driver, pgraph, operator, body)
-            return
+        if pool is not None and pool.active:
+            if pool.shardable(operator):
+                pool.run_sharded(self.cluster, driver, pgraph, operator, body)
+                return
+            # A replicated phase reads whatever state the sharded phases
+            # before it produced (request dedup against foreign bitsets,
+            # pending reductions): exchange the deferred effects first.
+            pool.flush()
         # Serial run, or a phase the plan metadata cannot prove shardable:
         # every process executes every host (replicated - state stays
         # identical across the group with no exchange).

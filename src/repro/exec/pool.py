@@ -6,50 +6,66 @@ the sync barriers. This module exploits exactly that structure to make
 the *simulator's* wall clock scale with real cores while preserving the
 byte-identity contract of the serial backends.
 
-Design: **forked replicated state machines with a per-phase effect
-exchange.**
+Design: **persistent forked replicated state machines with a
+shared-memory, per-sync-boundary effect exchange.**
 
-* At ``Executor.run(plan)`` with ``jobs > 1`` the coordinator forks
-  ``jobs - 1`` worker processes (POSIX ``fork``, copy-on-write). Every
-  process - coordinator included - then replays the *identical* plan
-  loop: host steps, resets, sync collectives, checkpoint/recovery, and
-  fault-injection draws all run everywhere, so each process's replica of
-  the cluster state evolves deterministically in lockstep. Fork-time
-  inheritance is what makes this possible without pickling kernels: the
-  workers share every closure, graph array, and map with the coordinator
-  at the fork point, and copy-on-write keeps the read-mostly bulk (CSR
-  arrays, store vectors) physically shared.
+* The first ``Executor.run(plan)`` with ``jobs > 1`` forks ``jobs - 1``
+  worker processes (POSIX ``fork``, copy-on-write) that live for the
+  whole executor, not one plan run. Every process - coordinator
+  included - replays the *identical* plan loop: host steps, resets,
+  sync collectives, checkpoint/recovery, and fault-injection draws all
+  run everywhere, so each process's replica of the cluster state
+  evolves deterministically in lockstep. Fork-time inheritance is what
+  makes this possible without pickling kernels: workers share every
+  closure, graph array, and map with the coordinator at the fork point.
+* Runs are framed by an explicit **epoch protocol**: ``begin_run``
+  sends a ``run`` token naming a plan from the fork-time registry plus
+  an epoch blob that resynchronizes every map the plan declares
+  (coordinator-side driver code may have pinned mirrors, reset values,
+  or synced reducers between runs); workers install it and ``ack``.
+  ``end_run`` collects an ``eor`` token per worker - including after
+  exceptions, which abort cleanly and leave the pool warm for the next
+  run. A plan the forked workers have never seen cannot ship its
+  kernels (closures), so the pool reforks once with the grown registry;
+  tolerance-loop drivers that re-run the same plans reuse the warm pool
+  with zero forks.
 * Only *shardable compute phases* divide work: each process drives
-  ``par_for``/``par_for_bulk`` over its own contiguous host shard. After
-  the phase, workers ship per-host **effect bundles** - the pending
-  reduction state, request bitsets, duplicate-request logs, the bound
-  reduction operator (by name: ``ReduceOp`` closes over lambdas), the
-  per-host :class:`~repro.cluster.metrics.Counters`, and the phase's
-  message rows - to the coordinator over a pipe. The coordinator merges
-  them into its authoritative phase record **in fixed host order** and
-  returns each worker the complement, so every process enters the next
-  (replayed) sync phase with the complete per-host state. Exported
-  state is cumulative since the last reduce-sync, so installs replace
-  rather than accumulate - re-installation is idempotent.
-* Phases that are *not* shardable (key-value-store variants, kernels
-  that mutate host-global state, bodies whose reducers cannot be
-  resolved by name) simply run **replicated**: every process executes
-  every host, which keeps all replicas identical with no exchange at
-  all. Correct first, fast where the declared metadata proves it safe.
+  ``par_for``/``par_for_bulk`` over its own contiguous host shard.
+  Effects are **not** exchanged per phase: exports are cumulative since
+  the last reduce-sync, so consecutive sharded phases defer into one
+  aggregated exchange per sync boundary (any sync collective, host
+  step, reset, replicated phase, or round end). One flush ships, per
+  worker, a single bundle: the latest per-host effect state of every
+  touched carrier, plus the per-phase :class:`Counters` totals and
+  message rows as one ``int64`` matrix each.
+* The exchange itself is zero-install shared memory: the coordinator
+  preallocates one ``multiprocessing.shared_memory`` arena per worker
+  (double-buffered) plus a broadcast arena, all created before the fork
+  so every process inherits the same mapping. Bundles are encoded with
+  pickle protocol 5; numpy payloads (reduction batch arrays, counter
+  matrices, GAR value slabs in epoch blobs) travel as raw out-of-band
+  buffers written directly into the arena. Pipes carry only fixed-size
+  tokens; every process reads every peer's arena directly, so the
+  coordinator never re-serializes the fan-out. Oversized bundles fall
+  back to the pipe and the next refork grows the arenas.
+* The coordinator merges worker bundles **in worker order** - shards
+  are contiguous ascending, so worker order IS host order and the
+  merged phase records are byte-identical to the serial visit. Phases
+  that are not shardable simply run **replicated** on every process.
 
 The coordinator's metrics log, counters, conflict counts, modeled
 seconds, and trace rows therefore evolve exactly as a serial run's
 would: the serial backend stays the oracle, and
 ``tests/test_parallel_equivalence.py`` enforces ``RunResult.to_dict()``
-byte-identity across ``jobs`` for all twelve algorithms.
+byte-identity across ``jobs`` for all twelve algorithms. With a fault
+injector installed the pool disables deferral and run reuse (refork per
+run) so injected draws and crash points replay exactly as they did
+serially.
 
-Why not ``multiprocessing.shared_memory`` buffers? Fork-time
-copy-on-write already gives zero-copy sharing of every numpy store
-array on POSIX, without a second lifetime to manage; only the per-phase
-*deltas* cross process boundaries, and those are small, irregular
-structures (dicts of pending reductions, bitset indices) for which
-pickling over a pipe is the honest encoding. The bundles are the
-explicit protocol; the shared memory is implicit in ``fork``.
+Segment lifecycle: arenas are created and unlinked only by the
+coordinator (``shutdown``), so ``/dev/shm`` holds ``jobs`` segments per
+pool generation and zero after ``Executor.close()``; workers exit via
+``os._exit`` without touching the resource tracker.
 """
 
 from __future__ import annotations
@@ -57,10 +73,20 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal as _signal
+import struct
 import traceback
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.cluster.metrics import PhaseRecord
+import numpy as np
+
+from repro.cluster.metrics import (
+    Counters,
+    PhaseRecord,
+    add_counter_row,
+    counters_to_rows,
+)
 from repro.core.reducers import NAMED_REDUCE_OPS, ReduceOp
 from repro.exec.plan import (
     DegreeReduce,
@@ -75,6 +101,18 @@ from repro.exec.plan import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.executor import Executor
 
+#: Prefix of every shared-memory segment the pool creates; the lifecycle
+#: tests scan ``/dev/shm`` for leaks by this prefix.
+POOL_SEGMENT_PREFIX = "repro-pool-"
+
+_uid_counter = 0
+
+
+def _next_uid() -> int:
+    global _uid_counter
+    _uid_counter += 1
+    return _uid_counter
+
 
 def fork_available() -> bool:
     """Parallel execution needs POSIX fork (workers inherit closures)."""
@@ -85,7 +123,8 @@ def shard_hosts(num_hosts: int, shards: int) -> list[tuple[int, ...]]:
     """Contiguous balanced host shards, ascending.
 
     Shard ``s`` owns hosts ``[s*H//N, (s+1)*H//N)`` - the same closed-form
-    dealing as the OpenMP-static thread chunks. Concatenating the shards
+    dealing as the OpenMP-static thread chunks. The shard count clamps to
+    the host count, so no shard is ever empty. Concatenating the shards
     in shard order yields ``0..H-1``, which is what lets the coordinator
     merge worker bundles in fixed host order by walking workers in index
     order.
@@ -97,6 +136,10 @@ def shard_hosts(num_hosts: int, shards: int) -> list[tuple[int, ...]]:
     ]
 
 
+class _RunAborted(Exception):
+    """Raised inside a worker when the coordinator aborts the run."""
+
+
 # --------------------------------------------------------------- plan tables
 
 
@@ -106,8 +149,8 @@ def _effect_carrier(obj: Any) -> bool:
 
 def _map_table(plan: Plan) -> dict[str, Any]:
     """Every effect carrier the plan names, keyed by name (identical on
-    all processes: the table is built before the fork, or from the forked
-    copy of the same plan object)."""
+    all processes: the table is built from the same plan object on the
+    coordinator and, via fork inheritance, on every worker)."""
     table: dict[str, Any] = {}
 
     def put(obj: Any) -> None:
@@ -192,79 +235,382 @@ def _phase_carriers(
     return carriers
 
 
+# --------------------------------------------------- shared-memory transport
+
+_ALIGN = 8
+
+
+def _pad(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _encode_payload(obj: Any) -> tuple[bytes, list[memoryview]]:
+    """Pickle ``obj`` with protocol-5 out-of-band buffers: numpy arrays
+    and other buffer-protocol payloads come back raw, to be written into
+    a shared arena without a serialization copy."""
+    buffers: list[pickle.PickleBuffer] = []
+    meta = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    try:
+        raws = [buf.raw() for buf in buffers]
+    except BufferError:  # pragma: no cover - non-contiguous exotic buffer
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), []
+    return meta, raws
+
+
+def _encoded_size(meta: bytes, raws: list[memoryview]) -> int:
+    return 16 + _pad(len(meta)) + sum(8 + _pad(raw.nbytes) for raw in raws)
+
+
+def _write_encoded(
+    buf: memoryview, base: int, meta: bytes, raws: list[memoryview]
+) -> int:
+    struct.pack_into("<QQ", buf, base, len(raws), len(meta))
+    offset = base + 16
+    buf[offset : offset + len(meta)] = meta
+    offset += _pad(len(meta))
+    for raw in raws:
+        struct.pack_into("<Q", buf, offset, raw.nbytes)
+        offset += 8
+        buf[offset : offset + raw.nbytes] = raw.cast("B")
+        offset += _pad(raw.nbytes)
+    return offset - base
+
+
+def _read_encoded(buf: memoryview, base: int) -> Any:
+    nbuf, meta_len = struct.unpack_from("<QQ", buf, base)
+    offset = base + 16
+    meta = bytes(buf[offset : offset + meta_len])
+    offset += _pad(meta_len)
+    # Copy the out-of-band buffers out of the arena: installed effect
+    # state is retained past this flush, and the slot is rewritten two
+    # flushes from now.
+    raws: list[bytes] = []
+    for _ in range(nbuf):
+        (raw_len,) = struct.unpack_from("<Q", buf, offset)
+        offset += 8
+        raws.append(bytes(buf[offset : offset + raw_len]))
+        offset += _pad(raw_len)
+    return pickle.loads(meta, buffers=raws)
+
+
+class _Arena:
+    """One coordinator-created shared segment, split into equal slots.
+
+    Created before the fork so every process inherits the same mapping;
+    only the coordinator ever unlinks it. Worker arenas use two slots
+    (the flush sequence alternates, so a slow reader of flush ``k`` can
+    never observe the owner writing flush ``k+1``); the broadcast arena
+    needs one (the coordinator only rewrites it after collecting every
+    worker's next ``fx`` token, which implies all reads finished).
+    """
+
+    def __init__(self, name: str, size: int, slots: int) -> None:
+        size = max(_pad(size), slots * 64)
+        self.shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self.slots = slots
+        self.slot_size = (self.shm.size // slots) & ~(_ALIGN - 1)
+
+    def write(self, slot: int, obj: Any) -> tuple[str, Any]:
+        """Encode ``obj`` into ``slot``; fall back to in-band pickle bytes
+        when it does not fit. Returns the token describing the location."""
+        meta, raws = _encode_payload(obj)
+        size = _encoded_size(meta, raws)
+        if size > self.slot_size:
+            return ("pipe", pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        _write_encoded(self.shm.buf, slot * self.slot_size, meta, raws)
+        return ("shm", size)
+
+    def read(self, slot: int, via: tuple[str, Any]) -> Any:
+        kind, payload = via
+        if kind == "pipe":
+            return pickle.loads(payload)
+        return _read_encoded(self.shm.buf, slot * self.slot_size)
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - lingering view
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _via_size(via: tuple[str, Any]) -> int:
+    kind, payload = via
+    return len(payload) if kind == "pipe" else int(payload)
+
+
 # ------------------------------------------------------------- the endpoint
 
 
-def _send(conn, kind: str, payload: Any) -> None:
-    """Explicitly pickled send: highest protocol (numpy arrays go as raw
-    buffers), and the coordinator can serialize its phase broadcast once
-    and fan the same bytes out to every worker."""
-    conn.send_bytes(pickle.dumps((kind, payload), pickle.HIGHEST_PROTOCOL))
-
-
-def _recv(conn, who: str) -> Any:
-    try:
-        kind, payload = pickle.loads(conn.recv_bytes())
-    except EOFError:
-        raise RuntimeError(
-            f"parallel execution lost {who} mid-phase (pipe closed); "
-            "the processes diverged or the peer crashed"
-        ) from None
-    if kind == "err":
-        raise RuntimeError(f"parallel worker failed:\n{payload}")
-    return payload
+def _send_token(conn, *token: Any) -> None:
+    conn.send_bytes(pickle.dumps(token, pickle.HIGHEST_PROTOCOL))
 
 
 class HostShardPool:
-    """One plan run's process group: coordinator endpoint in the parent,
-    worker endpoint (same object, mutated post-fork) in each child."""
+    """The executor's persistent process group: coordinator endpoint in
+    the parent, worker endpoint (same object, mutated post-fork) in each
+    child. Construction only builds the decision tables; ``begin_run``
+    forks (or reuses) the workers."""
 
     def __init__(self, executor: "Executor", plan: Plan, jobs: int) -> None:
         cluster = executor.cluster
+        self.executor = executor
         self.num_hosts = cluster.num_hosts
-        self.shards = shard_hosts(self.num_hosts, jobs)
+        self.jobs = max(1, min(int(jobs), self.num_hosts))
+        self.shards = shard_hosts(self.num_hosts, self.jobs)
         self.index = 0
         self.shard: Sequence[int] = self.shards[0]
         self.is_worker = False
+        self.active = False
+        self.dead = False
         self.conn = None
         self.workers: list[tuple[Any, Any]] = []
+        # Plan registry: every plan this pool has seen, by object id.
+        # Workers inherit the registry at fork time, so a registered plan
+        # can be named by key in a ``run`` token; an unregistered plan
+        # forces one refork (closures cannot cross a pipe).
+        self.registry: dict[int, Plan] = {}
+        self._tables: dict[int, dict[int, list[Any] | None]] = {}
+        self._names: dict[int, dict[str, Any]] = {}
+        self._plan_ops: dict[int, dict[str, ReduceOp]] = {}
+        self._forked_keys: set[int] = set()
+        self._plan_key = id(plan)
+        self.register_plan(plan)
+        # Exchange state.
+        self._pending: list[tuple[list[Any], PhaseRecord]] = []
+        self._eor_seen: set[int] = set()
+        self._seq = 0
+        self._run_seq = 0
+        self.defer = True
+        # Shared segments + instrumentation.
+        self._arenas: list[_Arena] = []
+        self._bcast: _Arena | None = None
+        self._arena_bytes_needed = 0
+        self.bytes_exchanged = 0
+        self.segments_peak = 0
+        self.forks = 0
+        self.warm_runs = 0
+
+    # -- plan registry -----------------------------------------------------
+
+    def register_plan(self, plan: Plan) -> None:
+        key = id(plan)
+        if key in self.registry:
+            return
+        self.registry[key] = plan
         by_name = _map_table(plan)
-        self._ops = _op_table(plan)
-        # Shardability is decided once per plan, before the fork, so every
-        # process derives the identical sharded/replicated schedule.
-        self._carriers: dict[int, list[Any] | None] = {}
+        ops = _op_table(plan)
+        self._names[key] = by_name
+        self._plan_ops[key] = ops
+        table: dict[int, list[Any] | None] = {}
         for step in plan.steps:
             if isinstance(step, OperatorStep):
-                self._carriers[id(step.operator)] = _phase_carriers(
-                    step.operator, by_name, self._ops
+                table[id(step.operator)] = _phase_carriers(
+                    step.operator, by_name, ops
                 )
+        self._tables[key] = table
 
-    def has_shardable_phase(self) -> bool:
-        return any(c is not None for c in self._carriers.values())
+    def has_shardable_phase(self, plan: Plan | None = None) -> bool:
+        key = self._plan_key if plan is None else id(plan)
+        return any(c is not None for c in self._tables[key].values())
 
-    def fork_workers(self, executor: "Executor", plan: Plan) -> None:
-        ctx = multiprocessing.get_context("fork")
-        pipes = [ctx.Pipe() for _ in self.shards[1:]]
-        for index in range(1, len(self.shards)):
-            process = ctx.Process(
-                target=_worker_main,
-                args=(executor, plan, self, index, pipes),
-                daemon=True,
-                name=f"repro-host-shard-{index}",
+    def shardable(self, operator: Operator) -> bool:
+        return self._tables[self._plan_key].get(id(operator)) is not None
+
+    def resolve_op(self, map_name: str, op_name: str) -> ReduceOp:
+        op = self._plan_ops[self._plan_key].get(op_name)
+        if op is None:
+            # A map can cross plans (cc_sv's parent map in hook and
+            # shortcut): fall back to any registered plan's table.
+            for table in self._plan_ops.values():
+                if op_name in table:
+                    op = table[op_name]
+                    break
+        if op is None:
+            raise RuntimeError(
+                f"reducer {op_name!r} for map {map_name!r} cannot be "
+                "resolved across processes; declare the operator via "
+                "ScalarKernel(ops=...) so the plan carries a live object"
             )
-            process.start()
-            self.workers.append((process, pipes[index - 1][0]))
+        return op
+
+    # -- lifecycle: fork ---------------------------------------------------
+
+    def _arena_size(self, plan: Plan) -> int:
+        # Generous default: the biggest bundles are epoch blobs and bulk
+        # reduction batches, both O(local nodes) numeric arrays. Grow past
+        # any pipe-fallback size a previous generation observed.
+        total_local = sum(part.num_local for part in plan.pgraph.parts)
+        estimate = max(1 << 20, 48 * total_local + (1 << 16))
+        return _pad(max(estimate, 2 * self._arena_bytes_needed))
+
+    def fork_workers(self, plan: Plan | None = None) -> None:
+        """Create the shared arenas and fork one worker per extra shard.
+
+        If forking worker ``k`` fails midway, the already-started workers
+        are reaped and the segments unlinked before the error propagates -
+        a partial pool must not leak children or ``/dev/shm`` segments.
+        """
+        if plan is None:
+            plan = self.registry[self._plan_key]
+        ctx = multiprocessing.get_context("fork")
+        size = self._arena_size(plan)
+        uid = f"{os.getpid()}-{_next_uid()}"
+        self._bcast = _Arena(f"{POOL_SEGMENT_PREFIX}{uid}-b", size, slots=1)
+        self._arenas = [
+            _Arena(f"{POOL_SEGMENT_PREFIX}{uid}-w{i}", size, slots=2)
+            for i in range(1, len(self.shards))
+        ]
+        self.segments_peak = max(self.segments_peak, 1 + len(self._arenas))
+        pipes = [ctx.Pipe() for _ in self.shards[1:]]
+        try:
+            for index in range(1, len(self.shards)):
+                process = self._make_process(ctx, index, pipes)
+                process.start()
+                self.workers.append((process, pipes[index - 1][0]))
+        except BaseException:
+            for process, _ in self.workers:
+                process.terminate()
+            for process, _ in self.workers:
+                process.join(timeout=2)
+                if process.is_alive():  # pragma: no cover - stuck child
+                    process.kill()
+                    process.join(timeout=2)
+            self.workers = []
+            for parent_end, child_end in pipes:
+                for end in (parent_end, child_end):
+                    try:
+                        end.close()
+                    except OSError:  # pragma: no cover
+                        pass
+            self._destroy_segments()
+            raise
         for _, child_end in pipes:
             child_end.close()
+        self.forks += 1
+        self._forked_keys = set(self.registry)
+        self.dead = False
+
+    def _make_process(self, ctx, index: int, pipes):
+        """One worker process (overridable seam: the fork-failure tests
+        inject a factory that fails partway through the group)."""
+        return ctx.Process(
+            target=_worker_main,
+            args=(self.executor, self, index, pipes),
+            daemon=True,
+            name=f"repro-host-shard-{index}",
+        )
+
+    def _destroy_segments(self) -> None:
+        for arena in self._arenas:
+            arena.destroy()
+        self._arenas = []
+        if self._bcast is not None:
+            self._bcast.destroy()
+            self._bcast = None
+
+    # -- lifecycle: runs ---------------------------------------------------
+
+    def begin_run(self, plan: Plan) -> bool:
+        """Coordinator run entry. Returns False when this plan has no
+        shardable phase (the caller runs it serially; idle workers keep
+        waiting for the next ``run`` token)."""
+        key = id(plan)
+        if key not in self.registry:
+            self.register_plan(plan)
+        self._plan_key = key
+        if not self.has_shardable_phase(plan):
+            return False
+        reusable = self.executor.cluster.faults is None
+        warm = bool(self.workers) and not self.dead and reusable
+        warm = warm and key in self._forked_keys
+        if not warm:
+            if self.workers or self.dead:
+                self.shutdown()
+            self.fork_workers(plan)
+        else:
+            self.warm_runs += 1
+        self._run_seq += 1
+        self._seq = 0
+        self._pending = []
+        self._eor_seen = set()
+        self.active = True
+        # Deterministic fault injection draws per phase and per send; the
+        # deferred exchange would reorder neither, but keeping the exact
+        # per-phase flush cadence of the serial replay makes crash points
+        # trivially identical, so deferral is disabled under injection.
+        self.defer = reusable
+        epoch_via = None
+        if warm:
+            assert self._bcast is not None
+            blob = self._export_epoch(plan)
+            epoch_via = self._bcast.write(0, blob)
+            self.bytes_exchanged += _via_size(epoch_via)
+            if epoch_via[0] == "pipe":
+                self.note_arena_shortfall(len(epoch_via[1]))
+        for _, conn in self.workers:
+            _send_token(conn, "run", key, self._run_seq, epoch_via)
+        # Wait for every ack before touching any state: a worker still
+        # installing the epoch blob must not race the first flush's
+        # broadcast-arena write (or the run's first phase).
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            token = self._recv_token(conn, index, process)
+            if token[0] != "ack" or token[1] != self._run_seq:
+                self.dead = True
+                raise RuntimeError(
+                    f"parallel worker {index} answered {token[0]!r} instead "
+                    "of acknowledging the run epoch; the processes diverged"
+                )
+        return True
+
+    def end_run(self, failed: bool) -> None:
+        """Coordinator run exit: collect one ``eor`` per worker (aborting
+        the run first if the coordinator failed), leaving the pool warm."""
+        self.active = False
+        self._pending = []
+        if not self.workers:
+            return
+        if failed and not self.dead:
+            for _, conn in self.workers:
+                try:
+                    _send_token(conn, "abort")
+                except OSError:  # pragma: no cover - worker already gone
+                    self.dead = True
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            if index in self._eor_seen:
+                continue
+            try:
+                self._await_eor(conn, index, process, timeout=60)
+            except RuntimeError:
+                self.dead = True
+                if not failed:
+                    raise
+        if self.dead:
+            self.shutdown()
+
+    def _await_eor(self, conn, index: int, process, timeout: float) -> None:
+        while True:
+            if not conn.poll(timeout):
+                raise RuntimeError(
+                    f"parallel worker {index} (pid {process.pid}) did not "
+                    f"reach end-of-run within {timeout:.0f}s; the processes "
+                    "diverged"
+                )
+            token = self._recv_token(conn, index, process)
+            if token[0] == "eor":
+                self._eor_seen.add(index)
+                return
+            # Stray fx/ack tokens from an aborted exchange: drain them.
 
     # -- operator-phase execution ------------------------------------------
 
-    def shardable(self, operator: Operator) -> bool:
-        return self._carriers.get(id(operator)) is not None
-
     def run_sharded(self, cluster, driver, pgraph, operator: Operator, body) -> None:
-        """Drive one shardable phase over the local shard, then exchange
-        effect bundles so every process ends the phase with full state."""
+        """Drive one shardable phase over the local shard and defer its
+        effects into the pending aggregate (flushed at the next sync
+        boundary, or immediately under fault injection)."""
         driver(
             cluster,
             pgraph,
@@ -274,131 +620,414 @@ class HostShardPool:
             label=operator.label,
             hosts=self.shard,
         )
-        record = cluster.log.phases[-1]
-        carriers = self._carriers[id(operator)]
-        if self.is_worker:
-            _send(self.conn, "fx", self._export(carriers, self.shard, record))
-            merged = _recv(self.conn, "the coordinator")
-            for index, payload in enumerate(merged):
-                if index != self.index:
-                    self._install(carriers, payload, record=None)
+        carriers = self._tables[self._plan_key][id(operator)]
+        self._pending.append((carriers, cluster.log.phases[-1]))
+        if not self.defer:
+            self.flush()
+
+    def flush(self) -> None:
+        """The aggregated exchange: one bundle per process for everything
+        deferred since the last sync boundary. Replay determinism makes
+        every process compute the same pending set, so the no-op case is
+        symmetric and the collective stays aligned without a barrier.
+        """
+        if not self._pending:
             return
-        # Coordinator: collect every worker's bundle first, then merge in
-        # worker order - shards are contiguous ascending, so worker order
-        # IS host order and the merged record is byte-identical to the
-        # serial visit. The broadcast back simply forwards the bundles it
-        # just received (plus its own shard's export): serialized once,
-        # the identical bytes fan out to every worker, and each worker
-        # skips its own entry.
-        payloads = [self._export(carriers, self.shard, record=None)]
-        payloads += [
-            _recv(conn, f"worker {index} (pid {process.pid})")
-            for index, (process, conn) in enumerate(self.workers, start=1)
-        ]
-        for payload in payloads[1:]:
-            self._install(carriers, payload, record=record)
-        blob = pickle.dumps(("mg", payloads), pickle.HIGHEST_PROTOCOL)
-        for _, conn in self.workers:
-            conn.send_bytes(blob)
+        pending, self._pending = self._pending, []
+        carriers: list[Any] = []
+        seen: set[int] = set()
+        for phase_carriers, _ in pending:
+            for carrier in phase_carriers:
+                if id(carrier) not in seen:
+                    seen.add(id(carrier))
+                    carriers.append(carrier)
+        slot = self._seq % 2
+        self._seq += 1
+        if self.is_worker:
+            self._flush_worker(carriers, pending, slot)
+        else:
+            self._flush_coordinator(carriers, pending, slot)
 
-    # -- bundles -----------------------------------------------------------
-
-    def _export(
-        self, carriers: list[Any], hosts: Sequence[int], record: PhaseRecord | None
-    ) -> dict:
-        """Effect bundle for ``hosts``: per-carrier per-host state, plus -
-        from workers - the shard's counters and the phase's message rows."""
+    def _export_bundle(self, carriers: list[Any], pending) -> dict[str, Any]:
         bundle: dict[str, Any] = {
-            "hosts": tuple(hosts),
             "effects": [
-                [carrier.export_compute_effects(host) for host in hosts]
+                [carrier.export_compute_effects(host) for host in self.shard]
                 for carrier in carriers
             ],
         }
-        if record is not None:
-            bundle["counters"] = [record.counters[host] for host in hosts]
-            bundle["net"] = (
-                list(record.msgs_sent),
-                list(record.bytes_sent),
-                list(record.msgs_recv),
-                list(record.bytes_recv),
+        if self.is_worker:
+            bundle["counters"] = np.stack(
+                [
+                    counters_to_rows([record.counters[h] for h in self.shard])
+                    for _, record in pending
+                ]
+            )
+            bundle["net"] = np.array(
+                [
+                    [
+                        record.msgs_sent,
+                        record.bytes_sent,
+                        record.msgs_recv,
+                        record.bytes_recv,
+                    ]
+                    for _, record in pending
+                ],
+                dtype=np.int64,
             )
         return bundle
 
-    def _install(
-        self, carriers: list[Any], bundle: dict, record: PhaseRecord | None
+    def _install_effects(
+        self, carriers: list[Any], shard: Sequence[int], bundle: dict
     ) -> None:
-        hosts = bundle["hosts"]
         for carrier, per_host in zip(carriers, bundle["effects"]):
-            for host, effects in zip(hosts, per_host):
+            for host, effects in zip(shard, per_host):
                 carrier.install_compute_effects(host, effects, self.resolve_op)
-        if record is None or "counters" not in bundle:
-            return
-        for host, counters in zip(hosts, bundle["counters"]):
-            record.counters[host].add(counters)
-        msgs_sent, bytes_sent, msgs_recv, bytes_recv = bundle["net"]
-        for host in range(self.num_hosts):
-            record.msgs_sent[host] += msgs_sent[host]
-            record.bytes_sent[host] += bytes_sent[host]
-            record.msgs_recv[host] += msgs_recv[host]
-            record.bytes_recv[host] += bytes_recv[host]
 
-    def resolve_op(self, map_name: str, op_name: str) -> ReduceOp:
-        try:
-            return self._ops[op_name]
-        except KeyError:
+    def _flush_worker(self, carriers, pending, slot: int) -> None:
+        arena = self._arenas[self.index - 1]
+        via = arena.write(slot, self._export_bundle(carriers, pending))
+        self.bytes_exchanged += _via_size(via)
+        _send_token(self.conn, "fx", self._seq, via)
+        token = self._recv_token(self.conn, 0, None)
+        if token[0] == "abort":
+            raise _RunAborted()
+        if token[0] != "go":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"expected go token, got {token[0]!r}")
+        vias = token[2]
+        assert self._bcast is not None
+        for index in range(len(self.shards)):
+            if index == self.index:
+                continue
+            if index == 0:
+                bundle = self._bcast.read(0, vias[0])
+            else:
+                bundle = self._arenas[index - 1].read(slot, vias[index])
+            self._install_effects(carriers, self.shards[index], bundle)
+
+    def _flush_coordinator(self, carriers, pending, slot: int) -> None:
+        vias: list[Any] = [None] * len(self.shards)
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            token = self._recv_token(conn, index, process)
+            if token[0] == "eor":
+                # The worker's replay of this run raised before reaching
+                # this exchange; surface its (deterministic) error here.
+                self._eor_seen.add(index)
+                raise self._worker_run_error(index, process, token[2])
+            if token[0] != "fx" or token[1] != self._seq:
+                self.dead = True
+                raise RuntimeError(
+                    f"parallel worker {index} sent {token[0]!r} out of "
+                    "phase; the processes diverged"
+                )
+            vias[index] = token[2]
+            self.bytes_exchanged += _via_size(token[2])
+            if token[2][0] == "pipe":
+                self.note_arena_shortfall(len(token[2][1]))
+            bundle = self._arenas[index - 1].read(slot, token[2])
+            self._merge_worker_bundle(index, carriers, pending, bundle)
+        assert self._bcast is not None
+        own = self._export_bundle(carriers, pending)
+        vias[0] = self._bcast.write(0, own)
+        self.bytes_exchanged += _via_size(vias[0])
+        if vias[0][0] == "pipe":
+            self.note_arena_shortfall(len(vias[0][1]))
+        for _, conn in self.workers:
+            _send_token(conn, "go", self._seq, vias)
+
+    def exchange_shards(
+        self, payload: Any, record: PhaseRecord | None = None
+    ) -> list[Any]:
+        """Synchronous all-gather inside an active run: every process
+        contributes ``payload`` and receives the list indexed by shard.
+
+        This is what the sharded sync collectives
+        (``NodePropMap._sgr_reduce_sharded`` / ``_broadcast_sharded``)
+        build on: the call rides the same arena slots, sequence counter,
+        and fx/go tokens as :meth:`flush`, so replay determinism keeps the
+        group aligned with no extra barrier. With ``record`` (a still-open
+        phase), each worker also exports the record's full counter matrix
+        and traffic rows and the coordinator folds them in - valid because
+        each unit of the phase's work is charged by exactly one process
+        and the record is exchanged exactly once per phase.
+        """
+        slot = self._seq % 2
+        self._seq += 1
+        bundle: dict[str, Any] = {"payload": payload}
+        out: list[Any] = [None] * len(self.shards)
+        out[self.index] = payload
+        assert self._bcast is not None
+        if self.is_worker:
+            if record is not None:
+                bundle["counters"] = counters_to_rows(record.counters)
+                bundle["net"] = np.array(
+                    [
+                        record.msgs_sent,
+                        record.bytes_sent,
+                        record.msgs_recv,
+                        record.bytes_recv,
+                    ],
+                    dtype=np.int64,
+                )
+            arena = self._arenas[self.index - 1]
+            via = arena.write(slot, bundle)
+            self.bytes_exchanged += _via_size(via)
+            _send_token(self.conn, "fx", self._seq, via)
+            token = self._recv_token(self.conn, 0, None)
+            if token[0] == "abort":
+                raise _RunAborted()
+            if token[0] != "go":  # pragma: no cover - protocol violation
+                raise RuntimeError(f"expected go token, got {token[0]!r}")
+            vias = token[2]
+            for index in range(len(self.shards)):
+                if index == self.index:
+                    continue
+                if index == 0:
+                    peer = self._bcast.read(0, vias[0])
+                else:
+                    peer = self._arenas[index - 1].read(slot, vias[index])
+                out[index] = peer["payload"]
+            return out
+        vias = [None] * len(self.shards)
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            token = self._recv_token(conn, index, process)
+            if token[0] == "eor":
+                self._eor_seen.add(index)
+                raise self._worker_run_error(index, process, token[2])
+            if token[0] != "fx" or token[1] != self._seq:
+                self.dead = True
+                raise RuntimeError(
+                    f"parallel worker {index} sent {token[0]!r} out of "
+                    "phase; the processes diverged"
+                )
+            vias[index] = token[2]
+            self.bytes_exchanged += _via_size(token[2])
+            if token[2][0] == "pipe":
+                self.note_arena_shortfall(len(token[2][1]))
+            peer = self._arenas[index - 1].read(slot, token[2])
+            out[index] = peer["payload"]
+            if record is not None:
+                for host in range(self.num_hosts):
+                    add_counter_row(record.counters[host], peer["counters"][host])
+                rows = peer["net"]
+                for host in range(self.num_hosts):
+                    record.msgs_sent[host] += int(rows[0, host])
+                    record.bytes_sent[host] += int(rows[1, host])
+                    record.msgs_recv[host] += int(rows[2, host])
+                    record.bytes_recv[host] += int(rows[3, host])
+        vias[0] = self._bcast.write(0, {"payload": payload})
+        self.bytes_exchanged += _via_size(vias[0])
+        if vias[0][0] == "pipe":
+            self.note_arena_shortfall(len(vias[0][1]))
+        for _, conn in self.workers:
+            _send_token(conn, "go", self._seq, vias)
+        return out
+
+    def _merge_worker_bundle(
+        self, index: int, carriers, pending, bundle: dict
+    ) -> None:
+        """Fold one worker's aggregate into the coordinator's records, in
+        worker order = host order, keeping the log byte-identical to the
+        serial visit."""
+        shard = self.shards[index]
+        counters = bundle["counters"]
+        net = bundle["net"]
+        if len(counters) != len(pending):  # pragma: no cover - divergence
+            self.dead = True
             raise RuntimeError(
-                f"reducer {op_name!r} for map {map_name!r} cannot be "
-                "resolved across processes; declare the operator via "
-                "ScalarKernel(ops=...) so the plan carries a live object"
-            ) from None
+                f"parallel worker {index} aggregated {len(counters)} phases "
+                f"against the coordinator's {len(pending)}; the processes "
+                "diverged"
+            )
+        for p, (_, record) in enumerate(pending):
+            for j, host in enumerate(shard):
+                add_counter_row(record.counters[host], counters[p, j])
+            rows = net[p]
+            for host in range(self.num_hosts):
+                record.msgs_sent[host] += int(rows[0, host])
+                record.bytes_sent[host] += int(rows[1, host])
+                record.msgs_recv[host] += int(rows[2, host])
+                record.bytes_recv[host] += int(rows[3, host])
+        self._install_effects(carriers, shard, bundle)
 
-    # -- lifecycle ---------------------------------------------------------
+    # -- epoch state -------------------------------------------------------
+
+    def _export_epoch(self, plan: Plan) -> dict[str, Any]:
+        """Everything the plan's carriers hold, snapshotted for workers:
+        between runs only the coordinator executes driver code (mirror
+        pinning, value resets, reducer syncs), so a warm run starts by
+        replacing worker state wholesale."""
+        table = self._names[id(plan)]
+        blob: dict[str, Any] = {}
+        for name in sorted(table):
+            carrier = table[name]
+            if hasattr(carrier, "export_epoch_state"):
+                blob[name] = ("epoch", carrier.export_epoch_state())
+            else:
+                blob[name] = (
+                    "fx",
+                    [
+                        carrier.export_compute_effects(host)
+                        for host in range(self.num_hosts)
+                    ],
+                )
+        return blob
+
+    def _install_epoch(self, plan: Plan, blob: dict[str, Any]) -> None:
+        table = self._names[id(plan)]
+        for name, (kind, state) in blob.items():
+            carrier = table[name]
+            if kind == "epoch":
+                carrier.install_epoch_state(state, self.resolve_op)
+            else:
+                for host, effects in enumerate(state):
+                    carrier.install_compute_effects(host, effects, self.resolve_op)
+
+    # -- worker-side run framing -------------------------------------------
+
+    def start_run_worker(self, plan_key: int, run_seq: int, epoch_via) -> None:
+        self._plan_key = plan_key
+        self._run_seq = run_seq
+        self._seq = 0
+        self._pending = []
+        self.active = True
+        self.defer = self.executor.cluster.faults is None
+        if epoch_via is not None:
+            assert self._bcast is not None
+            blob = self._bcast.read(0, epoch_via)
+            self._install_epoch(self.registry[plan_key], blob)
+
+    # -- tokens and failure surfacing --------------------------------------
+
+    def _recv_token(self, conn, index: int, process) -> tuple:
+        who = "the coordinator" if self.is_worker else f"worker {index}"
+        try:
+            token = pickle.loads(conn.recv_bytes())
+        except EOFError:
+            raise self._death_error(who, process) from None
+        if token[0] == "err":
+            self.dead = True
+            raise RuntimeError(f"parallel worker failed:\n{token[1]}")
+        return token
+
+    def _death_error(self, who: str, process) -> RuntimeError:
+        """Satellite fix: a dead peer surfaces its exit code and signal,
+        not just "pipe closed"."""
+        self.dead = True
+        detail = ""
+        if process is not None:
+            process.join(timeout=2)
+            code = process.exitcode
+            if code is None:  # pragma: no cover - still running, hung pipe
+                detail = "; the worker process is still alive (hung pipe)"
+            elif code < 0:
+                try:
+                    name = _signal.Signals(-code).name
+                except ValueError:  # pragma: no cover - unknown signal
+                    name = f"signal {-code}"
+                detail = f" (pid {process.pid}, killed by {name})"
+            else:
+                detail = f" (pid {process.pid}, exit code {code})"
+        return RuntimeError(
+            f"parallel execution lost {who} mid-phase (pipe closed{detail}); "
+            "the processes diverged or the peer crashed"
+        )
+
+    def _worker_run_error(self, index: int, process, err) -> BaseException:
+        kind, exc_blob, text = err
+        if exc_blob is not None:
+            try:
+                exc = pickle.loads(exc_blob)
+            except Exception:  # pragma: no cover - unpicklable exception
+                exc = None
+            if isinstance(exc, BaseException):
+                # Deterministic replay errors (simulated OOM on a worker's
+                # shard host, non-quiescence) re-raise as themselves so the
+                # harness records the same structured outcome as jobs=1.
+                return exc
+        return RuntimeError(
+            f"parallel worker {index} (pid {process.pid}) failed "
+            f"mid-run ({kind}):\n{text}"
+        )
+
+    def note_arena_shortfall(self, nbytes: int) -> None:
+        self._arena_bytes_needed = max(self._arena_bytes_needed, nbytes)
+
+    # -- lifecycle: teardown -----------------------------------------------
 
     def shutdown(self) -> None:
         """Coordinator teardown: closing the pipes unblocks any worker
-        still waiting in recv (it sees EOF and exits), then reap."""
-        for _, conn in self.workers:
+        still waiting in recv (it sees EOF and exits). After a failure the
+        graceful window is ~2s before escalating to terminate; the old
+        30-second join stall is gone.
+        """
+        workers, self.workers = self.workers, []
+        for _, conn in workers:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - double close is benign
                 pass
-        for process, _ in self.workers:
-            process.join(timeout=30)
-            if process.is_alive():  # pragma: no cover - hung-worker backstop
+        grace = 2 if self.dead else 10
+        for process, _ in workers:
+            process.join(timeout=grace)
+            if process.is_alive():
                 process.terminate()
-                process.join(timeout=5)
-        self.workers = []
+                process.join(timeout=2)
+                if process.is_alive():  # pragma: no cover - stuck child
+                    process.kill()
+                    process.join(timeout=2)
+        self._destroy_segments()
+        self.active = False
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "bytes_exchanged": int(self.bytes_exchanged),
+            "segments_peak": int(self.segments_peak),
+            "forks": int(self.forks),
+            "warm_runs": int(self.warm_runs),
+        }
 
 
 def create_pool(executor: "Executor", plan: Plan) -> HostShardPool | None:
-    """Build and fork the pool for one plan run, or None when parallelism
-    cannot help: a single host, no fork on this platform, or no phase the
-    metadata proves shardable (then the serial path is already optimal
-    and correct)."""
+    """Build (but do not fork) the pool, or None when parallelism cannot
+    help right now: a single host, no fork on this platform, or no phase
+    of this plan the metadata proves shardable (then the serial path is
+    already optimal and correct; a later plan may still create the pool).
+    """
     jobs = min(executor.jobs, executor.cluster.num_hosts)
     if jobs < 2 or not fork_available():
         return None
     pool = HostShardPool(executor, plan, jobs)
-    if not pool.has_shardable_phase():
+    # Effective shard count clamps to the host count: every shard owns at
+    # least one host, so no worker ever idle-spins the protocol.
+    assert all(pool.shards), "host shards must be non-empty"
+    if not pool.has_shardable_phase(plan):
         return None
-    pool.fork_workers(executor, plan)
     return pool
 
 
+def _pickle_or_none(exc: BaseException) -> bytes | None:
+    try:
+        blob = pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)
+        pickle.loads(blob)
+    except Exception:
+        return None
+    return blob
+
+
 def _worker_main(
-    executor: "Executor", plan: Plan, pool: HostShardPool, index: int, pipes
+    executor: "Executor", pool: HostShardPool, index: int, pipes
 ) -> None:
     """Worker entry, running in the forked child only.
 
     The child inherited the coordinator's entire state copy-on-write, so
-    it simply replays the same plan loop with its pool endpoint switched
-    to worker mode. Deterministic exceptions (non-quiescence, simulated
-    OOM) replay here too; the error bundle only matters when the worker
-    diverges or hits a worker-only failure, in which case the coordinator
-    surfaces it at the next exchange. ``os._exit`` skips the inherited
-    atexit/teardown machinery - this process must not flush the parent's
-    buffers or touch its resources on the way out.
+    it waits for ``run`` tokens and replays the named plan with its pool
+    endpoint switched to worker mode, then parks for the next run.
+    Deterministic exceptions (non-quiescence, simulated OOM) replay here
+    too; they are reported in the ``eor`` token and the worker stays
+    warm - the next run's epoch blob resynchronizes its state.
+    ``os._exit`` skips the inherited atexit/teardown machinery - this
+    process must not flush the parent's buffers, unlink the parent's
+    shared segments, or touch its resources on the way out.
     """
     status = 1
     conn = pipes[index - 1][1]
@@ -413,11 +1042,45 @@ def _worker_main(
         pool.conn = conn
         pool.workers = []
         executor._pool = pool
-        executor._drive(plan)
-        status = 0
+        while True:
+            try:
+                token = pickle.loads(conn.recv_bytes())
+            except EOFError:
+                status = 0
+                break
+            kind = token[0]
+            if kind == "shutdown":
+                status = 0
+                break
+            if kind == "abort":
+                # Stale abort from a run that already ended here.
+                continue
+            if kind != "run":  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected token {kind!r} between runs")
+            _, plan_key, run_seq, epoch_via = token
+            pool.start_run_worker(plan_key, run_seq, epoch_via)
+            _send_token(conn, "ack", run_seq)
+            err = None
+            try:
+                executor._drive(pool.registry[plan_key])
+            except _RunAborted:
+                err = ("aborted", None, "")
+            except Exception as exc:
+                err = (
+                    type(exc).__name__,
+                    _pickle_or_none(exc),
+                    traceback.format_exc()[-8000:],
+                )
+            finally:
+                pool._pending = []
+                pool.active = False
+            try:
+                _send_token(conn, "eor", run_seq, err)
+            except OSError:  # pragma: no cover - coordinator gone
+                break
     except BaseException:
         try:
-            _send(conn, "err", traceback.format_exc()[-8000:])
+            _send_token(conn, "err", traceback.format_exc()[-8000:])
         except (OSError, ValueError):
             pass
     finally:
@@ -430,6 +1093,7 @@ def _worker_main(
 
 __all__ = [
     "HostShardPool",
+    "POOL_SEGMENT_PREFIX",
     "create_pool",
     "fork_available",
     "shard_hosts",

@@ -50,3 +50,16 @@ class BoolReducer:
     def install_compute_effects(self, host: int, effects: bool, resolve_op) -> None:
         del resolve_op  # uniform carrier signature; no operators to resolve
         self._flags[host] = bool(effects)
+
+    # Epoch protocol (warm worker reuse): between plan runs only the
+    # coordinator executes driver code (``set_all``, ``sync``), so a new
+    # run starts by replacing the workers' copy of the full state.
+
+    def export_epoch_state(self) -> tuple[list[bool], bool]:
+        return list(self._flags), self._value
+
+    def install_epoch_state(self, state, resolve_op) -> None:
+        del resolve_op
+        flags, value = state
+        self._flags = list(flags)
+        self._value = bool(value)

@@ -9,6 +9,9 @@ decisions derived from plan metadata, and operator resolution by name.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.algorithms.cc_sv import cc_sv_hook_plan
@@ -26,7 +29,13 @@ from repro.exec import (
     Plan,
     ScalarKernel,
 )
-from repro.exec.pool import HostShardPool, shard_hosts
+from repro.exec.pool import (
+    POOL_SEGMENT_PREFIX,
+    HostShardPool,
+    create_pool,
+    fork_available,
+    shard_hosts,
+)
 from repro.graph import generators
 from repro.partition.policies import partition
 from repro.runtime.bool_reducer import BoolReducer
@@ -246,3 +255,160 @@ class TestBulkDeprecationShim:
             warnings.simplefilter("error")
             resolved = resolve_executor(cluster, executor, bulk=None)
         assert resolved is executor
+
+
+# --------------------- pool lifecycle: forks, deaths, shared segments
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="host-shard parallelism needs POSIX fork"
+)
+
+
+def _segments() -> set[str]:
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(POOL_SEGMENT_PREFIX)
+        }
+    except FileNotFoundError:  # pragma: no cover - platform without /dev/shm
+        return set()
+
+
+def _shardable_plan(cluster, pgraph, name="life"):
+    target = NodePropMap(cluster, pgraph, name)
+    return Plan(
+        name=name,
+        pgraph=pgraph,
+        steps=[
+            OperatorStep(
+                Operator("push", "all", EdgePush(target=target, op=MIN))
+            )
+        ],
+        once=True,
+    )
+
+
+class TestCreatePoolClamp:
+    def test_jobs_clamp_to_host_count_with_nonempty_shards(self, setup):
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph)
+        pool = HostShardPool(Executor(cluster, jobs=64), plan, jobs=64)
+        assert pool.jobs == cluster.num_hosts
+        assert len(pool.shards) == cluster.num_hosts
+        assert all(pool.shards)
+
+    @needs_fork
+    def test_create_pool_never_builds_an_empty_shard(self, setup):
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph)
+        pool = create_pool(Executor(cluster, jobs=11), plan)
+        assert pool is not None
+        assert all(pool.shards)
+        assert sum(len(s) for s in pool.shards) == cluster.num_hosts
+
+
+@needs_fork
+class TestForkFailureReaping:
+    def test_partial_fork_reaps_children_and_segments(self, setup):
+        """Satellite fix: if forking worker k fails, the k-1 already
+        started workers and every /dev/shm segment are reaped before the
+        error propagates - a partial pool must not leak."""
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph)
+        executor = Executor(cluster, jobs=3)
+        pool = create_pool(executor, plan)
+        before = _segments()
+        real_factory = pool._make_process
+
+        def failing_factory(ctx, index, pipes):
+            if index == 2:
+                raise OSError("simulated fork failure")
+            return real_factory(ctx, index, pipes)
+
+        pool._make_process = failing_factory
+        with pytest.raises(OSError, match="simulated fork failure"):
+            pool.fork_workers(plan)
+        assert pool.workers == []
+        assert _segments() == before
+        import multiprocessing
+
+        for child in multiprocessing.active_children():
+            assert not child.name.startswith("repro-host-shard")
+
+
+@needs_fork
+class TestWorkerDeathSurfacing:
+    @pytest.mark.parametrize(
+        "signum,expect",
+        ((signal.SIGTERM, "SIGTERM"), (signal.SIGKILL, "SIGKILL")),
+    )
+    def test_killed_worker_surfaces_signal_and_cleans_up(
+        self, setup, signum, expect
+    ):
+        """Satellite fix: a dead worker surfaces its signal/exit code in
+        the error (not just "pipe closed"), and teardown escalates within
+        seconds instead of the old 30s join stall - leaving no segments."""
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph, name=f"death-{expect}")
+        executor = Executor(cluster, jobs=2)
+        pool = create_pool(executor, plan)
+        before = _segments()
+        assert pool.begin_run(plan)
+        try:
+            process, _ = pool.workers[0]
+            os.kill(process.pid, signum)
+            process.join(timeout=10)
+            with pytest.raises(RuntimeError, match=expect):
+                pool.exchange_shards("ping")
+        finally:
+            pool.shutdown()
+        assert _segments() == before
+        assert pool.workers == []
+
+    def test_normal_runs_leave_no_segments(self, setup):
+        cluster, pgraph = setup
+        before = _segments()
+        graph = generators.erdos_renyi(40, 3.0, seed=7)
+        result = run_kimbap("PR", "life", 4, graph=graph, bulk=True, jobs=2)
+        assert _segments() == before
+        stats = result.parallel
+        assert stats is not None and stats["forks"] >= 1
+        assert stats["bytes_exchanged"] > 0
+        assert stats["segments_peak"] >= 2
+
+    def test_failed_run_leaves_no_segments(self, setup):
+        """An exception raised mid-parallel-run (on every replica - the
+        replay is deterministic) aborts cleanly: close() reaps workers and
+        unlinks every segment."""
+        cluster, pgraph = setup
+        before = _segments()
+        target = NodePropMap(cluster, pgraph, "boom")
+
+        def body(ctx):
+            raise ValueError("deterministic kernel failure")
+
+        plan = Plan(
+            name="boom",
+            pgraph=pgraph,
+            steps=[
+                OperatorStep(
+                    Operator(
+                        "boom",
+                        "masters",
+                        ScalarKernel(
+                            body, write_names=((target.name, MIN.name),)
+                        ),
+                    )
+                )
+            ],
+            once=True,
+        )
+        executor = Executor(cluster, jobs=2)
+        try:
+            with pytest.raises(ValueError, match="deterministic kernel failure"):
+                executor.run(plan)
+        finally:
+            executor.close()
+        assert _segments() == before

@@ -119,3 +119,37 @@ def test_crash_mid_round_recovery_equivalence(app):
     )
     assert serial.faults == parallel.faults
     assert serial.faults["recoveries"] >= 1
+
+
+# ----------------------------------------------- warm pool reuse (jobs=N)
+
+
+@needs_fork
+@pytest.mark.parametrize("bulk", (False, True))
+def test_warm_pool_reuse_is_byte_identical(bulk):
+    """MSF issues a fresh plan per shortcut round; the plan registry lets
+    the pool serve every round from one fork.  Warm replays must stay byte
+    identical, and the run's parallel stats must show the reuse actually
+    happened (one fork, >= 1 warm run) - otherwise the warm path silently
+    regressed to fork-per-plan."""
+    graph = random_graph(11, weighted=True)
+    serial, parallel = assert_jobs_equivalent(
+        "MSF", graph, hosts=4, jobs=2, bulk=bulk
+    )
+    stats = parallel.parallel
+    assert stats is not None
+    assert stats["forks"] == 1
+    assert stats["warm_runs"] >= 1
+    assert stats["bytes_exchanged"] > 0
+    assert serial.parallel is None or serial.parallel["forks"] == 0
+
+
+@needs_fork
+def test_back_to_back_runs_are_deterministic():
+    """Two cold pools over the same inputs produce the same bytes - the
+    exchange protocol has no run-to-run nondeterminism (no leaked state
+    in /dev/shm segment naming or slot reuse)."""
+    graph = random_graph(12)
+    first = run_kimbap("PR", "warm", 4, graph=graph, jobs=2, bulk=True)
+    second = run_kimbap("PR", "warm", 4, graph=graph, jobs=2, bulk=True)
+    assert canonical(first) == canonical(second)
