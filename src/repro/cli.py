@@ -12,6 +12,7 @@ Examples::
     python -m repro profile LV --graph powerlaw --hosts 4 --top 10
     python -m repro faults BFS --graph road --hosts 4 --plan crash
     python -m repro faults PR --graph powerlaw --plan chaos --report f.json
+    python -m repro chaos PR --graph road --jobs 4 --policy refork --at-boundary 2
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from repro.eval.harness import APP_POLICY, KIMBAP_APPS, run_galois, run_kimbap, 
 from repro.eval.reporting import format_phase_breakdown, format_table
 from repro.eval.workloads import GRAPHS, load_graph
 from repro.exec import PLAN_SCHEMA, Executor, format_plan_summary, plan_summary
-from repro.faults import NAMED_PLANS, named_plan
+from repro.faults import CHAOS_KINDS, NAMED_PLANS, ChaosEvent, ChaosPlan, named_plan
 from repro.graph import generators
 from repro.graph.stats import compute_stats
 from repro.partition import partition
@@ -271,6 +272,92 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Kill a real worker mid-run and prove the healed result's bytes.
+
+    Runs the fault-free ``jobs=1`` oracle, then the same workload at
+    ``--jobs N`` with a :class:`ChaosPlan` SIGKILLing (or SIGTERMing /
+    OOM-killing) worker ``--worker`` at sync boundary ``--at-boundary``
+    under the chosen recovery policy, and byte-compares the two
+    ``RunResult.to_dict()`` payloads. Exits 1 if the kill never fired,
+    recovery failed, or any byte diverged.
+    """
+    variant = VARIANTS_BY_LABEL[args.variant]
+    if args.jobs < 2:
+        print("chaos needs --jobs >= 2 (there is no worker to kill at jobs=1)")
+        return 1
+    chaos = ChaosPlan(
+        name=f"cli@{args.at_boundary}",
+        seed=args.seed,
+        events=(
+            ChaosEvent(
+                boundary=args.at_boundary, worker=args.worker, kind=args.kind
+            ),
+        ),
+    )
+    baseline = run_kimbap(
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=1,
+    )
+    chaotic = run_kimbap(
+        args.app,
+        args.graph,
+        args.hosts,
+        variant=variant,
+        threads=args.threads,
+        bulk=args.bulk,
+        jobs=args.jobs,
+        chaos_plan=chaos,
+        recovery=args.policy,
+    )
+    print(_result_rows([baseline, chaotic]))
+    stats = chaotic.parallel or {}
+    if chaotic.outcome != "ok":
+        print(f"chaos run FAILED: {chaotic.outcome} ({chaotic.failure})")
+        return 1
+    if stats.get("deaths_detected", 0) < 1:
+        print(
+            f"chaos event never fired: worker {args.worker} survived to the "
+            f"end (run had {stats.get('boundaries', 0)} boundaries; asked "
+            f"for boundary {args.at_boundary})"
+        )
+        return 1
+    identical = json.dumps(baseline.to_dict(), sort_keys=True) == json.dumps(
+        chaotic.to_dict(), sort_keys=True
+    )
+    print(
+        f"chaos: {args.kind} worker {args.worker} at boundary "
+        f"{args.at_boundary} (policy {args.policy!r})"
+    )
+    print(
+        f"  deaths detected: {stats.get('deaths_detected', 0)}"
+        f"  heals: {stats.get('heals', 0)}"
+        f"  reforks: {stats.get('reforks', 0)}"
+        f"  reshards: {stats.get('reshards', 0)}"
+        f"  diagnostics: {stats.get('diagnostics', 0)}"
+    )
+    print(
+        f"  recovered bytes identical to fault-free jobs=1: {identical}"
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(chaotic.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote healed-run result JSON to {args.report}")
+    if args.baseline_report:
+        with open(args.baseline_report, "w") as handle:
+            json.dump(baseline.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote baseline result JSON to {args.baseline_report}")
+    if not identical:
+        print("BYTE-IDENTITY FAILED: healed run diverged from the oracle")
+        return 1
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     """Print the operator plan(s) one application executes.
 
@@ -409,6 +496,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the faulted RunResult JSON here"
     )
     faults.set_defaults(fn=cmd_faults)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="SIGKILL a real worker process mid-run (self-healing pool) "
+        "and byte-compare the healed result against the jobs=1 oracle",
+    )
+    chaos.add_argument("app", choices=sorted(KIMBAP_APPS))
+    common(chaos)
+    chaos.add_argument(
+        "--variant", choices=sorted(VARIANTS_BY_LABEL), default=RuntimeVariant.KIMBAP.label
+    )
+    chaos.add_argument(
+        "--policy",
+        choices=("refork", "reshard"),
+        default="refork",
+        help="recovery policy: refork a replacement worker, or reshard "
+        "the dead worker's hosts onto survivors",
+    )
+    chaos.add_argument(
+        "--at-boundary",
+        type=int,
+        default=2,
+        help="sync-boundary ordinal (counted from 1) at which the kill fires",
+    )
+    chaos.add_argument(
+        "--worker", type=int, default=1, help="victim worker index (>= 1)"
+    )
+    chaos.add_argument("--kind", choices=CHAOS_KINDS, default="sigkill")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--report", default=None, help="write the healed RunResult JSON here"
+    )
+    chaos.add_argument(
+        "--baseline-report",
+        default=None,
+        help="also write the fault-free jobs=1 RunResult JSON here",
+    )
+    chaos.set_defaults(fn=cmd_chaos)
 
     plan = sub.add_parser(
         "plan",

@@ -268,6 +268,8 @@ def run_kimbap(
     memory_limit_slots: int | None = None,
     bulk: bool = False,
     jobs: int = 1,
+    chaos_plan: Any | None = None,
+    recovery: str = "fail-fast",
     **kwargs: Any,
 ) -> RunResult:
     """Run a Kimbap application on the simulated cluster.
@@ -284,6 +286,11 @@ def run_kimbap(
     ``faults`` report. Failures the paper reports as table cells -
     simulated OOM and non-quiescence - come back as a ``RunResult`` with
     ``outcome`` set instead of raising.
+
+    ``recovery`` arms the self-healing pool (``"refork"``/``"reshard"``)
+    and ``chaos_plan`` (a :class:`repro.faults.chaos.ChaosPlan`) delivers
+    real SIGKILL/SIGTERM/OOM kills to workers at chosen sync boundaries -
+    a healed run stays byte-identical to an undisturbed ``jobs=1`` run.
     """
     if graph is None:
         graph = load_graph(graph_name, weighted=APP_WEIGHTED.get(app, False))
@@ -294,7 +301,9 @@ def run_kimbap(
     injector = None
     if fault_plan is not None:
         injector = install_faults(cluster, fault_plan)
-    executor = Executor(cluster, bulk=bulk, jobs=jobs)
+    executor = Executor(
+        cluster, bulk=bulk, jobs=jobs, recovery=recovery, chaos=chaos_plan
+    )
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:
         try:

@@ -50,7 +50,7 @@ from repro.exec.plan import (
     ScalarKernel,
     SyncStep,
 )
-from repro.exec.pool import HostShardPool, create_pool
+from repro.exec.pool import HEALABLE_ERRORS, HostShardPool, create_pool
 from repro.faults.recovery import run_recoverable_loop
 from repro.runtime.engine import (
     BulkOperatorContext,
@@ -89,6 +89,8 @@ class Executor:
         bulk: bool = False,
         observer: Callable[[Plan], None] | None = None,
         jobs: int = 1,
+        recovery: str = "fail-fast",
+        chaos: Any | None = None,
     ) -> None:
         self.cluster = cluster
         self.bulk = bool(bulk)
@@ -96,6 +98,19 @@ class Executor:
         # jobs > 1 fans shardable compute phases out to jobs processes
         # (coordinator included); merge order keeps results byte-identical.
         self.jobs = max(1, int(jobs))
+        # Self-healing knobs (see repro.exec.pool): "refork" replaces a
+        # dead worker with a fresh fork of the rolled-back coordinator,
+        # "reshard" re-deals the dead worker's hosts onto survivors, and
+        # "fail-fast" (the default) keeps the legacy raise-through path.
+        # ``chaos`` is a repro.faults.chaos.ChaosPlan delivering real
+        # kills to workers at chosen sync boundaries.
+        if recovery not in ("fail-fast", "refork", "reshard"):
+            raise ValueError(
+                f"unknown recovery policy {recovery!r}; "
+                "use 'fail-fast', 'refork', or 'reshard'"
+            )
+        self.recovery = recovery
+        self.chaos = chaos
         self._pool: HostShardPool | None = None
 
     # ------------------------------------------------------ map lifecycle
@@ -176,12 +191,15 @@ class Executor:
         forks, and warm (fork-free) run reuses."""
         return None if self._pool is None else self._pool.stats()
 
-    def _drive(self, plan: Plan) -> int:
+    def _drive(self, plan: Plan, resume_rounds: int | None = None) -> int:
         """The plan loop proper, replayed identically by every process of
         a parallel run (the pool endpoint decides shard vs replicated work
-        per phase inside :meth:`_run_operator`)."""
+        per phase inside :meth:`_run_operator`). ``resume_rounds`` re-enters
+        an in-flight loop on a heal-time replacement worker (see
+        :meth:`HostShardPool.heal`)."""
         if plan.once:
-            self.run_round(plan)
+            self.cluster.loop_rounds = 0
+            self._guarded_round(plan)
             return 0
         quiesce = tuple(plan.quiesce)
         maps = tuple(plan.maps) if plan.maps else quiesce
@@ -208,7 +226,7 @@ class Executor:
         return run_recoverable_loop(
             self.cluster,
             list(maps),
-            lambda: self.run_round(plan),
+            lambda: self._guarded_round(plan),
             converged=converged,
             before_round=before_round,
             max_rounds=plan.max_rounds,
@@ -216,7 +234,47 @@ class Executor:
             extra_snapshot=plan.extra_snapshot,
             extra_restore=plan.extra_restore,
             on_max_rounds=on_max_rounds,
+            resume_rounds=resume_rounds,
         )
+
+    def _guarded_round(self, plan: Plan) -> None:
+        """One round, wrapped in the self-healing supervisor when it is on.
+
+        The coordinator snapshots the round-start state, runs the round,
+        and on a healable failure (:data:`~repro.exec.pool.HEALABLE_ERRORS`)
+        asks the pool to heal - reap the group, roll back to the snapshot,
+        re-fork or reshard - then retries the round. When resharding
+        degrades the pool to a single shard the retry runs serially, which
+        is the ``jobs=1`` oracle. Workers never guard (the coordinator
+        replaces the whole group); with healing off this is exactly
+        ``run_round``.
+        """
+        pool = self._pool
+        if (
+            pool is None
+            or pool.is_worker
+            or not pool.healing
+            or not pool.active
+            or pool._guard_depth
+        ):
+            self.run_round(plan)
+            return
+        pool._guard_depth += 1
+        try:
+            snapshot = pool.snapshot_round(plan)
+            while True:
+                try:
+                    self.run_round(plan)
+                    return
+                except HEALABLE_ERRORS as err:
+                    pool.heal(err, plan, snapshot)
+                    if not pool.active:
+                        # Degraded to the serial path mid-run: finish this
+                        # round (and the rest of the loop) as jobs=1.
+                        self.run_round(plan)
+                        return
+        finally:
+            pool._guard_depth = 0
 
     def run_round(self, plan: Plan) -> None:
         """One pass over the plan's steps (one BSP round).

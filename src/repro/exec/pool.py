@@ -65,17 +65,49 @@ serially.
 Segment lifecycle: arenas are created and unlinked only by the
 coordinator (``shutdown``), so ``/dev/shm`` holds ``jobs`` segments per
 pool generation and zero after ``Executor.close()``; workers exit via
-``os._exit`` without touching the resource tracker.
+``os._exit`` without touching the resource tracker. An ``atexit`` guard
+covers the remaining path: a ``KeyboardInterrupt`` (or any unwound
+exception) that reaches interpreter exit before ``Executor.close()``
+still reaps the workers and unlinks every segment.
+
+**Self-healing (``Executor(recovery=...)``).** With a recovery policy
+other than ``fail-fast`` the coordinator becomes a supervisor: every
+token wait polls worker exit codes instead of blocking on the pipe, and
+a typed :class:`PoolError` (:class:`WorkerDied`,
+:class:`ExchangeTimeout`, :class:`ArenaCorruption`) triggers recovery
+*within the run*. Because every process holds the full replicated state
+at each round boundary, recovery is refork-all: the coordinator reaps
+the whole group, rolls its own state back to the round-start
+:class:`~repro.faults.checkpoint.RoundSnapshot` (built on the same
+``checkpoint_state``/``restore_state`` machinery as the modeled fault
+layer), reconfigures (``refork`` keeps the shard count, ``reshard``
+drops one shard and re-deals the dead worker's hosts onto survivors),
+and forks replacements that inherit the rolled-back state copy-on-write
+and resume the in-flight run at the same completed-round count. When
+resharding consumes the last worker the pool degrades to the serial
+path, which is the ``jobs=1`` oracle by contract - so a recovered run's
+``RunResult.to_dict()`` stays byte-identical to an undisturbed
+``jobs=1`` run either way. Arena frames carry a magic/sequence/length
+header (plus a CRC32 when the supervisor is on) so a corrupt bundle
+raises :class:`ArenaCorruption` into the same recovery path instead of
+deserializing garbage. All of it is gated: with ``fail-fast`` (the
+default) and no :class:`~repro.faults.chaos.ChaosPlan` the exchange
+protocol, token waits, and frame checks are exactly the pre-healing
+fast path.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 import signal as _signal
 import struct
+import time
 import traceback
+import weakref
+import zlib
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -97,6 +129,8 @@ from repro.exec.plan import (
     Plan,
     ScalarKernel,
 )
+from repro.faults.chaos import deliver as deliver_chaos
+from repro.faults.checkpoint import RoundSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.executor import Executor
@@ -138,6 +172,103 @@ def shard_hosts(num_hosts: int, shards: int) -> list[tuple[int, ...]]:
 
 class _RunAborted(Exception):
     """Raised inside a worker when the coordinator aborts the run."""
+
+
+# ----------------------------------------------------- exception taxonomy
+
+
+def _rebuild_pool_error(cls, args, state):
+    """Unpickle helper: rebuild a PoolError with its context attributes
+    (plain ``RuntimeError`` pickling would drop ``worker``/``shard``/
+    ``phase``, and the eor path round-trips worker exceptions)."""
+    err = cls.__new__(cls)
+    RuntimeError.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
+
+
+class PoolError(RuntimeError):
+    """A failure of the parallel exchange protocol or its substrate.
+
+    Subclasses ``RuntimeError`` so pre-taxonomy callers keep working.
+    Every instance carries the failing worker index, its host-shard
+    range, and the phase label in flight, both as attributes and
+    appended to the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int | None = None,
+        shard: Sequence[int] | None = None,
+        phase: str | None = None,
+    ) -> None:
+        context = []
+        if worker is not None:
+            context.append(f"worker {worker}")
+        if shard:
+            context.append(f"hosts {shard[0]}..{shard[-1]}")
+        if phase:
+            context.append(f"phase {phase!r}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+        self.worker = worker
+        self.shard = tuple(shard) if shard is not None else None
+        self.phase = phase
+
+    def __reduce__(self):
+        return (_rebuild_pool_error, (type(self), self.args, dict(self.__dict__)))
+
+
+class WorkerDied(PoolError):
+    """A worker process exited (signal, OOM kill, crash) mid-protocol."""
+
+
+class ExchangeTimeout(PoolError):
+    """A live worker sent nothing within the exchange deadline."""
+
+
+class ArenaCorruption(PoolError):
+    """A shared-memory bundle failed frame validation (bad magic,
+    sequence mismatch, length overrun, or checksum failure)."""
+
+
+class ProtocolDivergence(PoolError):
+    """The replicated state machines disagreed (wrong token, phase-count
+    mismatch). Never healed: replay would diverge the same way."""
+
+
+#: The errors the self-healing supervisor recovers from. Divergence is
+#: excluded on purpose - deterministic replay would reproduce it.
+HEALABLE_ERRORS = (WorkerDied, ExchangeTimeout, ArenaCorruption)
+
+
+class ArenaIntegrityError(RuntimeError):
+    """Low-level arena frame validation failure; the pool wraps it into
+    :class:`ArenaCorruption` with worker/shard/phase context."""
+
+
+# ------------------------------------------------- interpreter-exit guard
+
+_POOLS: "weakref.WeakSet[HostShardPool]" = weakref.WeakSet()
+_ATEXIT_INSTALLED = False
+
+
+def _atexit_cleanup() -> None:
+    """Reap pools that never saw ``Executor.close()``: a KeyboardInterrupt
+    mid-exchange unwinds straight to interpreter exit, and without this
+    the ``/dev/shm`` segments (and parked workers) outlive the process.
+    Workers never run it - they leave via ``os._exit``."""
+    for pool in list(_POOLS):
+        if pool.is_worker or pool._owner_pid != os.getpid():
+            continue
+        try:
+            pool.dead = True  # shorten the join grace; we are exiting
+            pool.shutdown()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
 
 
 # --------------------------------------------------------------- plan tables
@@ -257,15 +388,37 @@ def _encode_payload(obj: Any) -> tuple[bytes, list[memoryview]]:
     return meta, raws
 
 
+# Frame header: magic, crc32, sequence, out-of-band buffer count, meta
+# length. Magic/sequence/length bounds are validated on every read; the
+# CRC is computed and verified only when the pool's supervisor is on
+# (``integrity``), keeping the fail-fast fast path free of the scan.
+_FRAME_HEADER = struct.Struct("<IIQQQ")
+_ARENA_MAGIC = 0x4B50_4F4C  # "KPOL"
+
+
 def _encoded_size(meta: bytes, raws: list[memoryview]) -> int:
-    return 16 + _pad(len(meta)) + sum(8 + _pad(raw.nbytes) for raw in raws)
+    return (
+        _FRAME_HEADER.size
+        + _pad(len(meta))
+        + sum(8 + _pad(raw.nbytes) for raw in raws)
+    )
 
 
 def _write_encoded(
-    buf: memoryview, base: int, meta: bytes, raws: list[memoryview]
+    buf: memoryview,
+    base: int,
+    meta: bytes,
+    raws: list[memoryview],
+    seq: int = 0,
+    check: bool = False,
 ) -> int:
-    struct.pack_into("<QQ", buf, base, len(raws), len(meta))
-    offset = base + 16
+    crc = 0
+    if check:
+        crc = zlib.crc32(meta)
+        for raw in raws:
+            crc = zlib.crc32(raw.cast("B"), crc)
+    _FRAME_HEADER.pack_into(buf, base, _ARENA_MAGIC, crc, seq, len(raws), len(meta))
+    offset = base + _FRAME_HEADER.size
     buf[offset : offset + len(meta)] = meta
     offset += _pad(len(meta))
     for raw in raws:
@@ -276,9 +429,26 @@ def _write_encoded(
     return offset - base
 
 
-def _read_encoded(buf: memoryview, base: int) -> Any:
-    nbuf, meta_len = struct.unpack_from("<QQ", buf, base)
-    offset = base + 16
+def _read_encoded(
+    buf: memoryview,
+    base: int,
+    limit: int,
+    expected_seq: int = 0,
+    check: bool = False,
+) -> Any:
+    end = base + limit
+    magic, crc, seq, nbuf, meta_len = _FRAME_HEADER.unpack_from(buf, base)
+    if magic != _ARENA_MAGIC:
+        raise ArenaIntegrityError(f"bad arena frame magic 0x{magic:08x}")
+    if seq != expected_seq:
+        raise ArenaIntegrityError(
+            f"arena frame carries sequence {seq}, expected {expected_seq}"
+        )
+    offset = base + _FRAME_HEADER.size
+    if meta_len > end - offset:
+        raise ArenaIntegrityError(
+            f"arena frame metadata ({meta_len} bytes) overruns the slot"
+        )
     meta = bytes(buf[offset : offset + meta_len])
     offset += _pad(meta_len)
     # Copy the out-of-band buffers out of the arena: installed effect
@@ -286,10 +456,25 @@ def _read_encoded(buf: memoryview, base: int) -> Any:
     # flushes from now.
     raws: list[bytes] = []
     for _ in range(nbuf):
+        if offset + 8 > end:
+            raise ArenaIntegrityError("arena frame buffer table overruns the slot")
         (raw_len,) = struct.unpack_from("<Q", buf, offset)
         offset += 8
+        if raw_len > end - offset:
+            raise ArenaIntegrityError(
+                f"arena frame buffer ({raw_len} bytes) overruns the slot"
+            )
         raws.append(bytes(buf[offset : offset + raw_len]))
         offset += _pad(raw_len)
+    if check:
+        actual = zlib.crc32(meta)
+        for raw in raws:
+            actual = zlib.crc32(raw, actual)
+        if actual != crc:
+            raise ArenaIntegrityError(
+                f"arena frame checksum mismatch (stored 0x{crc:08x}, "
+                f"computed 0x{actual:08x})"
+            )
     return pickle.loads(meta, buffers=raws)
 
 
@@ -310,21 +495,29 @@ class _Arena:
         self.slots = slots
         self.slot_size = (self.shm.size // slots) & ~(_ALIGN - 1)
 
-    def write(self, slot: int, obj: Any) -> tuple[str, Any]:
+    def write(
+        self, slot: int, obj: Any, seq: int = 0, check: bool = False
+    ) -> tuple[str, Any]:
         """Encode ``obj`` into ``slot``; fall back to in-band pickle bytes
-        when it does not fit. Returns the token describing the location."""
+        when it does not fit. Returns the token describing the location.
+        ``seq`` stamps the frame header (readers validate it); ``check``
+        additionally stores a CRC32 of the payload."""
         meta, raws = _encode_payload(obj)
         size = _encoded_size(meta, raws)
         if size > self.slot_size:
             return ("pipe", pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        _write_encoded(self.shm.buf, slot * self.slot_size, meta, raws)
+        _write_encoded(self.shm.buf, slot * self.slot_size, meta, raws, seq, check)
         return ("shm", size)
 
-    def read(self, slot: int, via: tuple[str, Any]) -> Any:
+    def read(
+        self, slot: int, via: tuple[str, Any], seq: int = 0, check: bool = False
+    ) -> Any:
         kind, payload = via
         if kind == "pipe":
             return pickle.loads(payload)
-        return _read_encoded(self.shm.buf, slot * self.slot_size)
+        return _read_encoded(
+            self.shm.buf, slot * self.slot_size, self.slot_size, seq, check
+        )
 
     def destroy(self) -> None:
         try:
@@ -393,6 +586,35 @@ class HostShardPool:
         self.segments_peak = 0
         self.forks = 0
         self.warm_runs = 0
+        # Self-healing supervisor (ISSUE 7). policy/chaos come from the
+        # executor; _watch gates the non-blocking token waits and
+        # integrity the arena CRCs, so the fail-fast default keeps the
+        # exact pre-healing fast path (zero overhead, zero report diffs).
+        self.policy = getattr(executor, "recovery", "fail-fast")
+        self.chaos = getattr(executor, "chaos", None)
+        self.healing = self.policy != "fail-fast"
+        self._watch = self.healing or self.chaos is not None
+        self.integrity = self._watch
+        self.exchange_timeout = 120.0
+        # Sync-boundary ordinal, counted identically on every process and
+        # never rolled back by recovery (replacement workers inherit the
+        # coordinator's value), which is what makes a ChaosPlan event
+        # fire exactly once with no fired-set to synchronize.
+        self.boundaries_seen = 0
+        self.diagnostics: list[str] = []
+        self.deaths_detected = 0
+        self.heals = 0
+        self.reforks = 0
+        self.reshards = 0
+        self._heal_attempts = 0
+        self._resume: tuple[int, int] | None = None
+        self._guard_depth = 0
+        self._owner_pid = os.getpid()
+        _POOLS.add(self)
+        global _ATEXIT_INSTALLED
+        if not _ATEXIT_INSTALLED:
+            atexit.register(_atexit_cleanup)
+            _ATEXIT_INSTALLED = True
 
     # -- plan registry -----------------------------------------------------
 
@@ -496,7 +718,16 @@ class HostShardPool:
 
     def _make_process(self, ctx, index: int, pipes):
         """One worker process (overridable seam: the fork-failure tests
-        inject a factory that fails partway through the group)."""
+        inject a factory that fails partway through the group). A heal
+        in flight (``_resume`` set) forks resume-mode workers that rejoin
+        the interrupted run instead of parking for a ``run`` token."""
+        if self._resume is not None:
+            return ctx.Process(
+                target=_worker_resume_main,
+                args=(self.executor, self, index, pipes, self._resume),
+                daemon=True,
+                name=f"repro-host-shard-{index}",
+            )
         return ctx.Process(
             target=_worker_main,
             args=(self.executor, self, index, pipes),
@@ -524,6 +755,10 @@ class HostShardPool:
         self._plan_key = key
         if not self.has_shardable_phase(plan):
             return False
+        if len(self.shards) < 2:
+            # Reshard recovery consumed every worker in an earlier run:
+            # the pool stays degraded to the serial (jobs=1) path.
+            return False
         reusable = self.executor.cluster.faults is None
         warm = bool(self.workers) and not self.dead and reusable
         warm = warm and key in self._forked_keys
@@ -537,22 +772,44 @@ class HostShardPool:
         self._seq = 0
         self._pending = []
         self._eor_seen = set()
+        self._heal_attempts = 0
         self.active = True
         # Deterministic fault injection draws per phase and per send; the
         # deferred exchange would reorder neither, but keeping the exact
         # per-phase flush cadence of the serial replay makes crash points
         # trivially identical, so deferral is disabled under injection.
         self.defer = reusable
+        try:
+            self._start_workers(warm, plan, key)
+        except HEALABLE_ERRORS as err:
+            if not self.healing:
+                raise
+            # A worker died parked between runs (or mid-ack): replace the
+            # whole group cold - the fresh fork inherits the coordinator's
+            # current state, so no epoch blob is needed - and retry once.
+            self.deaths_detected += 1
+            self.note_diagnostic("begin_run", err)
+            self.shutdown()
+            self.fork_workers(plan)
+            self.active = True
+            self._start_workers(False, plan, key)
+        return True
+
+    def _start_workers(self, warm: bool, plan: Plan, key: int) -> None:
         epoch_via = None
         if warm:
             assert self._bcast is not None
             blob = self._export_epoch(plan)
-            epoch_via = self._bcast.write(0, blob)
+            epoch_via = self._bcast.write(
+                0, blob, seq=self._run_seq, check=self.integrity
+            )
             self.bytes_exchanged += _via_size(epoch_via)
             if epoch_via[0] == "pipe":
                 self.note_arena_shortfall(len(epoch_via[1]))
-        for _, conn in self.workers:
-            _send_token(conn, "run", key, self._run_seq, epoch_via)
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            self._send_to_worker(
+                index, process, conn, "run", key, self._run_seq, epoch_via
+            )
         # Wait for every ack before touching any state: a worker still
         # installing the epoch blob must not race the first flush's
         # broadcast-arena write (or the run's first phase).
@@ -560,11 +817,12 @@ class HostShardPool:
             token = self._recv_token(conn, index, process)
             if token[0] != "ack" or token[1] != self._run_seq:
                 self.dead = True
-                raise RuntimeError(
+                raise ProtocolDivergence(
                     f"parallel worker {index} answered {token[0]!r} instead "
-                    "of acknowledging the run epoch; the processes diverged"
+                    "of acknowledging the run epoch; the processes diverged",
+                    worker=index,
+                    shard=self._shard_of(index),
                 )
-        return True
 
     def end_run(self, failed: bool) -> None:
         """Coordinator run exit: collect one ``eor`` per worker (aborting
@@ -574,36 +832,59 @@ class HostShardPool:
         if not self.workers:
             return
         if failed and not self.dead:
-            for _, conn in self.workers:
+            for index, (_, conn) in enumerate(self.workers, start=1):
                 try:
                     _send_token(conn, "abort")
-                except OSError:  # pragma: no cover - worker already gone
+                except OSError as err:  # pragma: no cover - worker gone
                     self.dead = True
+                    self.note_diagnostic(f"end_run abort to worker {index}", err)
         for index, (process, conn) in enumerate(self.workers, start=1):
             if index in self._eor_seen:
                 continue
             try:
                 self._await_eor(conn, index, process, timeout=60)
-            except RuntimeError:
+            except (WorkerDied, ExchangeTimeout, ProtocolDivergence) as err:
+                # Only the typed peer-failure family is tolerated here (the
+                # old bare ``except RuntimeError`` swallowed real shutdown
+                # bugs), and every instance leaves a diagnostic.
                 self.dead = True
-                if not failed:
+                self.note_diagnostic(f"end_run eor from worker {index}", err)
+                if isinstance(err, WorkerDied):
+                    self.deaths_detected += 1
+                if not failed and not self.healing:
                     raise
+                # After a failed run the coordinator's error wins; with
+                # healing the run's data is already complete (the death is
+                # past the final boundary) and the next begin_run reforks.
         if self.dead:
             self.shutdown()
 
     def _await_eor(self, conn, index: int, process, timeout: float) -> None:
         while True:
             if not conn.poll(timeout):
-                raise RuntimeError(
+                raise ExchangeTimeout(
                     f"parallel worker {index} (pid {process.pid}) did not "
                     f"reach end-of-run within {timeout:.0f}s; the processes "
-                    "diverged"
+                    "diverged",
+                    worker=index,
+                    shard=self._shard_of(index),
+                    phase=self._phase_label(),
                 )
             token = self._recv_token(conn, index, process)
             if token[0] == "eor":
                 self._eor_seen.add(index)
                 return
             # Stray fx/ack tokens from an aborted exchange: drain them.
+
+    def note_diagnostic(self, context: str, err: BaseException) -> None:
+        self.diagnostics.append(f"{context}: {type(err).__name__}: {err}")
+
+    def _shard_of(self, index: int) -> tuple[int, ...] | None:
+        return tuple(self.shards[index]) if index < len(self.shards) else None
+
+    def _phase_label(self) -> str | None:
+        record = getattr(self.executor.cluster, "_current", None)
+        return (record.label or record.operator) if record is not None else None
 
     # -- operator-phase execution ------------------------------------------
 
@@ -633,6 +914,7 @@ class HostShardPool:
         """
         if not self._pending:
             return
+        self._chaos_tick()
         pending, self._pending = self._pending, []
         carriers: list[Any] = []
         seen: set[int] = set()
@@ -683,25 +965,74 @@ class HostShardPool:
             for host, effects in zip(shard, per_host):
                 carrier.install_compute_effects(host, effects, self.resolve_op)
 
+    def _chaos_tick(self) -> None:
+        """Count this sync boundary; deliver any chaos event aimed here.
+
+        Only ticks when the supervisor is watching (healing or chaos), so
+        the fail-fast default never touches the counter. The doomed
+        worker kills *itself* before writing its bundle - a real death
+        the coordinator must detect, not a modeled one."""
+        if not self._watch:
+            return
+        self.boundaries_seen += 1
+        chaos = self.chaos
+        if chaos is None or not self.is_worker:
+            return
+        for event in chaos.events:
+            if event.boundary == self.boundaries_seen and event.worker == self.index:
+                deliver_chaos(event)
+
+    def _read_peer(self, arena: _Arena, slot: int, via, writer: int, seq: int):
+        """Read a peer's bundle with frame validation; corruption becomes
+        a typed :class:`ArenaCorruption` (healable) instead of garbage."""
+        try:
+            return arena.read(slot, via, seq=seq, check=self.integrity)
+        except (ArenaIntegrityError, pickle.UnpicklingError) as err:
+            self.dead = True
+            who = "the coordinator" if writer == 0 else f"worker {writer}"
+            raise ArenaCorruption(
+                f"shared-memory bundle from {who} failed validation: {err}",
+                worker=writer,
+                shard=self._shard_of(writer),
+                phase=self._phase_label(),
+            ) from err
+
+    def _send_to_worker(self, index: int, process, conn, *token: Any) -> None:
+        """Coordinator-side send; a broken pipe means the worker died
+        (previously an uncaught OSError) and surfaces as WorkerDied."""
+        try:
+            _send_token(conn, *token)
+        except OSError:
+            raise self._death_error(f"worker {index}", process, index) from None
+
     def _flush_worker(self, carriers, pending, slot: int) -> None:
         arena = self._arenas[self.index - 1]
-        via = arena.write(slot, self._export_bundle(carriers, pending))
+        via = arena.write(
+            slot,
+            self._export_bundle(carriers, pending),
+            seq=self._seq,
+            check=self.integrity,
+        )
         self.bytes_exchanged += _via_size(via)
         _send_token(self.conn, "fx", self._seq, via)
         token = self._recv_token(self.conn, 0, None)
         if token[0] == "abort":
             raise _RunAborted()
         if token[0] != "go":  # pragma: no cover - protocol violation
-            raise RuntimeError(f"expected go token, got {token[0]!r}")
+            raise ProtocolDivergence(
+                f"expected go token, got {token[0]!r}", worker=self.index
+            )
         vias = token[2]
         assert self._bcast is not None
         for index in range(len(self.shards)):
             if index == self.index:
                 continue
             if index == 0:
-                bundle = self._bcast.read(0, vias[0])
+                bundle = self._read_peer(self._bcast, 0, vias[0], 0, self._seq)
             else:
-                bundle = self._arenas[index - 1].read(slot, vias[index])
+                bundle = self._read_peer(
+                    self._arenas[index - 1], slot, vias[index], index, self._seq
+                )
             self._install_effects(carriers, self.shards[index], bundle)
 
     def _flush_coordinator(self, carriers, pending, slot: int) -> None:
@@ -715,24 +1046,29 @@ class HostShardPool:
                 raise self._worker_run_error(index, process, token[2])
             if token[0] != "fx" or token[1] != self._seq:
                 self.dead = True
-                raise RuntimeError(
+                raise ProtocolDivergence(
                     f"parallel worker {index} sent {token[0]!r} out of "
-                    "phase; the processes diverged"
+                    "phase; the processes diverged",
+                    worker=index,
+                    shard=self._shard_of(index),
+                    phase=self._phase_label(),
                 )
             vias[index] = token[2]
             self.bytes_exchanged += _via_size(token[2])
             if token[2][0] == "pipe":
                 self.note_arena_shortfall(len(token[2][1]))
-            bundle = self._arenas[index - 1].read(slot, token[2])
+            bundle = self._read_peer(
+                self._arenas[index - 1], slot, token[2], index, self._seq
+            )
             self._merge_worker_bundle(index, carriers, pending, bundle)
         assert self._bcast is not None
         own = self._export_bundle(carriers, pending)
-        vias[0] = self._bcast.write(0, own)
+        vias[0] = self._bcast.write(0, own, seq=self._seq, check=self.integrity)
         self.bytes_exchanged += _via_size(vias[0])
         if vias[0][0] == "pipe":
             self.note_arena_shortfall(len(vias[0][1]))
-        for _, conn in self.workers:
-            _send_token(conn, "go", self._seq, vias)
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            self._send_to_worker(index, process, conn, "go", self._seq, vias)
 
     def exchange_shards(
         self, payload: Any, record: PhaseRecord | None = None
@@ -750,6 +1086,7 @@ class HostShardPool:
         each unit of the phase's work is charged by exactly one process
         and the record is exchanged exactly once per phase.
         """
+        self._chaos_tick()
         slot = self._seq % 2
         self._seq += 1
         bundle: dict[str, Any] = {"payload": payload}
@@ -769,22 +1106,26 @@ class HostShardPool:
                     dtype=np.int64,
                 )
             arena = self._arenas[self.index - 1]
-            via = arena.write(slot, bundle)
+            via = arena.write(slot, bundle, seq=self._seq, check=self.integrity)
             self.bytes_exchanged += _via_size(via)
             _send_token(self.conn, "fx", self._seq, via)
             token = self._recv_token(self.conn, 0, None)
             if token[0] == "abort":
                 raise _RunAborted()
             if token[0] != "go":  # pragma: no cover - protocol violation
-                raise RuntimeError(f"expected go token, got {token[0]!r}")
+                raise ProtocolDivergence(
+                    f"expected go token, got {token[0]!r}", worker=self.index
+                )
             vias = token[2]
             for index in range(len(self.shards)):
                 if index == self.index:
                     continue
                 if index == 0:
-                    peer = self._bcast.read(0, vias[0])
+                    peer = self._read_peer(self._bcast, 0, vias[0], 0, self._seq)
                 else:
-                    peer = self._arenas[index - 1].read(slot, vias[index])
+                    peer = self._read_peer(
+                        self._arenas[index - 1], slot, vias[index], index, self._seq
+                    )
                 out[index] = peer["payload"]
             return out
         vias = [None] * len(self.shards)
@@ -795,15 +1136,20 @@ class HostShardPool:
                 raise self._worker_run_error(index, process, token[2])
             if token[0] != "fx" or token[1] != self._seq:
                 self.dead = True
-                raise RuntimeError(
+                raise ProtocolDivergence(
                     f"parallel worker {index} sent {token[0]!r} out of "
-                    "phase; the processes diverged"
+                    "phase; the processes diverged",
+                    worker=index,
+                    shard=self._shard_of(index),
+                    phase=self._phase_label(),
                 )
             vias[index] = token[2]
             self.bytes_exchanged += _via_size(token[2])
             if token[2][0] == "pipe":
                 self.note_arena_shortfall(len(token[2][1]))
-            peer = self._arenas[index - 1].read(slot, token[2])
+            peer = self._read_peer(
+                self._arenas[index - 1], slot, token[2], index, self._seq
+            )
             out[index] = peer["payload"]
             if record is not None:
                 for host in range(self.num_hosts):
@@ -814,12 +1160,14 @@ class HostShardPool:
                     record.bytes_sent[host] += int(rows[1, host])
                     record.msgs_recv[host] += int(rows[2, host])
                     record.bytes_recv[host] += int(rows[3, host])
-        vias[0] = self._bcast.write(0, {"payload": payload})
+        vias[0] = self._bcast.write(
+            0, {"payload": payload}, seq=self._seq, check=self.integrity
+        )
         self.bytes_exchanged += _via_size(vias[0])
         if vias[0][0] == "pipe":
             self.note_arena_shortfall(len(vias[0][1]))
-        for _, conn in self.workers:
-            _send_token(conn, "go", self._seq, vias)
+        for index, (process, conn) in enumerate(self.workers, start=1):
+            self._send_to_worker(index, process, conn, "go", self._seq, vias)
         return out
 
     def _merge_worker_bundle(
@@ -833,10 +1181,13 @@ class HostShardPool:
         net = bundle["net"]
         if len(counters) != len(pending):  # pragma: no cover - divergence
             self.dead = True
-            raise RuntimeError(
+            raise ProtocolDivergence(
                 f"parallel worker {index} aggregated {len(counters)} phases "
                 f"against the coordinator's {len(pending)}; the processes "
-                "diverged"
+                "diverged",
+                worker=index,
+                shard=self._shard_of(index),
+                phase=self._phase_label(),
             )
         for p, (_, record) in enumerate(pending):
             for j, host in enumerate(shard):
@@ -893,25 +1244,56 @@ class HostShardPool:
         self.defer = self.executor.cluster.faults is None
         if epoch_via is not None:
             assert self._bcast is not None
-            blob = self._bcast.read(0, epoch_via)
+            blob = self._read_peer(self._bcast, 0, epoch_via, 0, run_seq)
             self._install_epoch(self.registry[plan_key], blob)
 
     # -- tokens and failure surfacing --------------------------------------
 
     def _recv_token(self, conn, index: int, process) -> tuple:
         who = "the coordinator" if self.is_worker else f"worker {index}"
+        if self._watch and not self.is_worker and process is not None:
+            self._watch_peer(conn, index, process)
         try:
             token = pickle.loads(conn.recv_bytes())
         except EOFError:
-            raise self._death_error(who, process) from None
+            raise self._death_error(who, process, index) from None
         if token[0] == "err":
             self.dead = True
-            raise RuntimeError(f"parallel worker failed:\n{token[1]}")
+            raise ProtocolDivergence(
+                f"parallel worker failed:\n{token[1]}",
+                worker=index if not self.is_worker else None,
+            )
         return token
 
-    def _death_error(self, who: str, process) -> RuntimeError:
-        """Satellite fix: a dead peer surfaces its exit code and signal,
-        not just "pipe closed"."""
+    def _watch_peer(self, conn, index: int, process) -> None:
+        """The supervisor's token wait: poll the pipe AND the worker's
+        exit code instead of blocking, so a SIGKILLed worker surfaces as
+        :class:`WorkerDied` within ~50ms (and a hung-but-alive worker as
+        :class:`ExchangeTimeout`) rather than stalling the run. Only
+        reached when healing or chaos is on; the fail-fast default keeps
+        the plain blocking recv."""
+        deadline = time.monotonic() + self.exchange_timeout
+        while not conn.poll(0.05):
+            if not process.is_alive():
+                if conn.poll(0):
+                    # The worker sent its token just before dying; drain
+                    # it - the death will surface at the next wait.
+                    return
+                raise self._death_error(f"worker {index}", process, index)
+            if time.monotonic() >= deadline:
+                self.dead = True
+                raise ExchangeTimeout(
+                    f"parallel worker {index} (pid {process.pid}) sent "
+                    f"nothing for {self.exchange_timeout:.0f}s; the worker "
+                    "hung or the processes diverged",
+                    worker=index,
+                    shard=self._shard_of(index),
+                    phase=self._phase_label(),
+                )
+
+    def _death_error(self, who: str, process, index: int | None = None):
+        """A dead peer surfaces its exit code and signal, not just "pipe
+        closed", as a typed (healable) :class:`WorkerDied`."""
         self.dead = True
         detail = ""
         if process is not None:
@@ -927,9 +1309,12 @@ class HostShardPool:
                 detail = f" (pid {process.pid}, killed by {name})"
             else:
                 detail = f" (pid {process.pid}, exit code {code})"
-        return RuntimeError(
+        return WorkerDied(
             f"parallel execution lost {who} mid-phase (pipe closed{detail}); "
-            "the processes diverged or the peer crashed"
+            "the processes diverged or the peer crashed",
+            worker=index,
+            shard=self._shard_of(index) if index is not None else None,
+            phase=self._phase_label(),
         )
 
     def _worker_run_error(self, index: int, process, err) -> BaseException:
@@ -942,15 +1327,79 @@ class HostShardPool:
             if isinstance(exc, BaseException):
                 # Deterministic replay errors (simulated OOM on a worker's
                 # shard host, non-quiescence) re-raise as themselves so the
-                # harness records the same structured outcome as jobs=1.
+                # harness records the same structured outcome as jobs=1;
+                # a worker-detected ArenaCorruption re-raises healable.
                 return exc
-        return RuntimeError(
+        return ProtocolDivergence(
             f"parallel worker {index} (pid {process.pid}) failed "
-            f"mid-run ({kind}):\n{text}"
+            f"mid-run ({kind}):\n{text}",
+            worker=index,
+            shard=self._shard_of(index),
         )
 
     def note_arena_shortfall(self, nbytes: int) -> None:
         self._arena_bytes_needed = max(self._arena_bytes_needed, nbytes)
+
+    # -- self-healing recovery ---------------------------------------------
+
+    def _plan_carriers(self, plan: Plan) -> list[Any]:
+        table = self._names[id(plan)]
+        return [table[name] for name in sorted(table)]
+
+    def snapshot_round(self, plan: Plan) -> RoundSnapshot:
+        """Capture the coordinator's round-start state (taken once per
+        guarded run, refreshed by the executor at each round boundary)."""
+        snap = RoundSnapshot.capture(
+            self.executor.cluster, self._plan_carriers(plan), plan
+        )
+        snap.seq = self._seq
+        return snap
+
+    def _restore_round(self, plan: Plan, snapshot: RoundSnapshot) -> None:
+        snapshot.restore(
+            self.executor.cluster, self._plan_carriers(plan), plan, self.resolve_op
+        )
+        self._pending = []
+        self._seq = snapshot.seq
+
+    def heal(self, err: BaseException, plan: Plan, snapshot: RoundSnapshot) -> None:
+        """Recover from a healable failure mid-run: reap the whole group,
+        roll the coordinator back to the round-start snapshot, reconfigure
+        per policy, and re-fork - the replacements inherit the rolled-back
+        state copy-on-write and resume the run at the same completed-round
+        count. ``reshard`` drops one shard (the dead worker's hosts re-deal
+        onto survivors); losing the last worker degrades the pool to the
+        serial path, which IS the ``jobs=1`` oracle.
+        """
+        self.deaths_detected += 1
+        self.note_diagnostic(f"heal ({self.policy})", err)
+        self._heal_attempts += 1
+        if self._heal_attempts > max(4, 2 * self.jobs):
+            raise err
+        self.dead = True
+        self.shutdown()
+        self._restore_round(plan, snapshot)
+        if self.policy == "reshard":
+            self.jobs = max(1, self.jobs - 1)
+            self.reshards += 1
+        else:
+            self.reforks += 1
+        self.shards = shard_hosts(self.num_hosts, self.jobs)
+        self.index = 0
+        self.shard = self.shards[0]
+        self._eor_seen = set()
+        if len(self.shards) < 2:
+            # Degraded to one shard: finish this run (and all later ones)
+            # on the serial path. active stays False.
+            self.heals += 1
+            return
+        self._resume = (id(plan), self.executor.cluster.loop_rounds)
+        try:
+            self.fork_workers(plan)
+        finally:
+            self._resume = None
+        self.active = True
+        self.heals += 1
 
     # -- lifecycle: teardown -----------------------------------------------
 
@@ -984,6 +1433,12 @@ class HostShardPool:
             "segments_peak": int(self.segments_peak),
             "forks": int(self.forks),
             "warm_runs": int(self.warm_runs),
+            "boundaries": int(self.boundaries_seen),
+            "deaths_detected": int(self.deaths_detected),
+            "heals": int(self.heals),
+            "reforks": int(self.reforks),
+            "reshards": int(self.reshards),
+            "diagnostics": len(self.diagnostics),
         }
 
 
@@ -1014,6 +1469,75 @@ def _pickle_or_none(exc: BaseException) -> bytes | None:
     return blob
 
 
+def _worker_setup(pool: HostShardPool, index: int, pipes):
+    """Post-fork endpoint switch: close foreign pipe ends and mutate the
+    inherited pool object into the worker-``index`` endpoint."""
+    conn = pipes[index - 1][1]
+    for i, (parent_end, child_end) in enumerate(pipes):
+        parent_end.close()
+        if i != index - 1:
+            child_end.close()
+    pool.is_worker = True
+    pool.index = index
+    pool.shard = pool.shards[index]
+    pool.conn = conn
+    pool.workers = []
+    pool.dead = False
+    return conn
+
+
+def _worker_drive(
+    executor: "Executor",
+    pool: HostShardPool,
+    plan_key: int,
+    resume_rounds: int | None = None,
+):
+    """Replay one run (or, on heal, the tail of one from round
+    ``resume_rounds``); deterministic exceptions become the eor error
+    triple instead of killing the worker."""
+    err = None
+    try:
+        executor._drive(pool.registry[plan_key], resume_rounds=resume_rounds)
+    except _RunAborted:
+        err = ("aborted", None, "")
+    except Exception as exc:
+        err = (
+            type(exc).__name__,
+            _pickle_or_none(exc),
+            traceback.format_exc()[-8000:],
+        )
+    finally:
+        pool._pending = []
+        pool.active = False
+    return err
+
+
+def _worker_loop(executor: "Executor", pool: HostShardPool, conn) -> int:
+    """Park for ``run`` tokens, replay each named plan, repeat. Returns
+    the worker's exit status (0 = clean EOF/shutdown)."""
+    while True:
+        try:
+            token = pickle.loads(conn.recv_bytes())
+        except EOFError:
+            return 0
+        kind = token[0]
+        if kind == "shutdown":
+            return 0
+        if kind == "abort":
+            # Stale abort from a run that already ended here.
+            continue
+        if kind != "run":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected token {kind!r} between runs")
+        _, plan_key, run_seq, epoch_via = token
+        pool.start_run_worker(plan_key, run_seq, epoch_via)
+        _send_token(conn, "ack", run_seq)
+        err = _worker_drive(executor, pool, plan_key)
+        try:
+            _send_token(conn, "eor", run_seq, err)
+        except OSError:  # pragma: no cover - coordinator gone
+            return 1
+
+
 def _worker_main(
     executor: "Executor", pool: HostShardPool, index: int, pipes
 ) -> None:
@@ -1032,52 +1556,43 @@ def _worker_main(
     status = 1
     conn = pipes[index - 1][1]
     try:
-        for i, (parent_end, child_end) in enumerate(pipes):
-            parent_end.close()
-            if i != index - 1:
-                child_end.close()
-        pool.is_worker = True
-        pool.index = index
-        pool.shard = pool.shards[index]
-        pool.conn = conn
-        pool.workers = []
+        conn = _worker_setup(pool, index, pipes)
         executor._pool = pool
-        while True:
-            try:
-                token = pickle.loads(conn.recv_bytes())
-            except EOFError:
-                status = 0
-                break
-            kind = token[0]
-            if kind == "shutdown":
-                status = 0
-                break
-            if kind == "abort":
-                # Stale abort from a run that already ended here.
-                continue
-            if kind != "run":  # pragma: no cover - protocol violation
-                raise RuntimeError(f"unexpected token {kind!r} between runs")
-            _, plan_key, run_seq, epoch_via = token
-            pool.start_run_worker(plan_key, run_seq, epoch_via)
-            _send_token(conn, "ack", run_seq)
-            err = None
-            try:
-                executor._drive(pool.registry[plan_key])
-            except _RunAborted:
-                err = ("aborted", None, "")
-            except Exception as exc:
-                err = (
-                    type(exc).__name__,
-                    _pickle_or_none(exc),
-                    traceback.format_exc()[-8000:],
-                )
-            finally:
-                pool._pending = []
-                pool.active = False
-            try:
-                _send_token(conn, "eor", run_seq, err)
-            except OSError:  # pragma: no cover - coordinator gone
-                break
+        status = _worker_loop(executor, pool, conn)
+    except BaseException:
+        try:
+            _send_token(conn, "err", traceback.format_exc()[-8000:])
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(status)
+
+
+def _worker_resume_main(
+    executor: "Executor",
+    pool: HostShardPool,
+    index: int,
+    pipes,
+    resume: tuple[int, int],
+) -> None:
+    """Worker entry for a heal-time re-fork: the child inherited the
+    coordinator's *rolled-back* round-start state, so instead of parking
+    it immediately rejoins the interrupted run at the same completed-round
+    count, sends its ``eor``, then parks like any warm worker."""
+    status = 1
+    conn = pipes[index - 1][1]
+    try:
+        conn = _worker_setup(pool, index, pipes)
+        executor._pool = pool
+        plan_key, resume_rounds = resume
+        pool.active = True
+        err = _worker_drive(executor, pool, plan_key, resume_rounds=resume_rounds)
+        _send_token(conn, "eor", pool._run_seq, err)
+        status = _worker_loop(executor, pool, conn)
     except BaseException:
         try:
             _send_token(conn, "err", traceback.format_exc()[-8000:])
@@ -1092,8 +1607,15 @@ def _worker_main(
 
 
 __all__ = [
+    "ArenaCorruption",
+    "ArenaIntegrityError",
+    "ExchangeTimeout",
+    "HEALABLE_ERRORS",
     "HostShardPool",
     "POOL_SEGMENT_PREFIX",
+    "PoolError",
+    "ProtocolDivergence",
+    "WorkerDied",
     "create_pool",
     "fork_available",
     "shard_hosts",

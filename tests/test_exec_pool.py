@@ -9,9 +9,14 @@ decisions derived from plan metadata, and operator resolution by name.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
+import subprocess
+import sys
+import textwrap
 
+import numpy as np
 import pytest
 
 from repro.algorithms.cc_sv import cc_sv_hook_plan
@@ -31,7 +36,17 @@ from repro.exec import (
 )
 from repro.exec.pool import (
     POOL_SEGMENT_PREFIX,
+    ArenaIntegrityError,
     HostShardPool,
+    WorkerDied,
+    _ARENA_MAGIC,
+    _Arena,
+    _encode_payload,
+    _encoded_size,
+    _FRAME_HEADER,
+    _pad,
+    _read_encoded,
+    _write_encoded,
     create_pool,
     fork_available,
     shard_hosts,
@@ -360,8 +375,12 @@ class TestWorkerDeathSurfacing:
             process, _ = pool.workers[0]
             os.kill(process.pid, signum)
             process.join(timeout=10)
-            with pytest.raises(RuntimeError, match=expect):
+            with pytest.raises(RuntimeError, match=expect) as exc:
                 pool.exchange_shards("ping")
+            # The typed taxonomy carries the failing worker's identity.
+            assert isinstance(exc.value, WorkerDied)
+            assert exc.value.worker == 1
+            assert exc.value.shard == tuple(pool.shards[1])
         finally:
             pool.shutdown()
         assert _segments() == before
@@ -411,4 +430,189 @@ class TestWorkerDeathSurfacing:
                 executor.run(plan)
         finally:
             executor.close()
+        assert _segments() == before
+
+
+# --------------------- arena frame integrity (ISSUE 7 tentpole hardening)
+
+
+class TestArenaFrameIntegrity:
+    """The frame header (magic/sequence/length, CRC32 when the supervisor
+    is on) turns silent shared-memory corruption into a typed
+    ``ArenaIntegrityError`` the healing path can recover from."""
+
+    def _frame(self, obj, seq=0, check=True, slack=64):
+        meta, raws = _encode_payload(obj)
+        buf = memoryview(bytearray(_encoded_size(meta, raws) + slack))
+        _write_encoded(buf, 0, meta, raws, seq, check)
+        return buf, meta
+
+    def test_roundtrip_with_sequence_and_checksum(self):
+        obj = {"xs": np.arange(16, dtype=np.int64), "tag": "frame"}
+        buf, _ = self._frame(obj, seq=3)
+        out = _read_encoded(buf, 0, len(buf), expected_seq=3, check=True)
+        assert out["tag"] == "frame"
+        np.testing.assert_array_equal(out["xs"], obj["xs"])
+
+    def test_wrong_sequence_is_rejected(self):
+        buf, _ = self._frame([1, 2, 3], seq=3)
+        with pytest.raises(ArenaIntegrityError, match="sequence"):
+            _read_encoded(buf, 0, len(buf), expected_seq=4, check=True)
+
+    def test_bad_magic_is_rejected(self):
+        buf, _ = self._frame([1], seq=0)
+        buf[0] ^= 0xFF
+        with pytest.raises(ArenaIntegrityError, match="magic"):
+            _read_encoded(buf, 0, len(buf), expected_seq=0, check=False)
+
+    def test_flipped_payload_byte_fails_the_checksum(self):
+        obj = np.arange(64, dtype=np.int64)
+        buf, meta = self._frame(obj, seq=5, check=True)
+        # Flip one byte inside the out-of-band numpy buffer: pickle still
+        # decodes (the values are just wrong), so only the CRC catches it.
+        offset = _FRAME_HEADER.size + _pad(len(meta)) + 8 + 11
+        buf[offset] ^= 0xFF
+        with pytest.raises(ArenaIntegrityError, match="checksum"):
+            _read_encoded(buf, 0, len(buf), expected_seq=5, check=True)
+        silent = _read_encoded(buf, 0, len(buf), expected_seq=5, check=False)
+        assert not np.array_equal(silent, obj)
+
+    def test_metadata_overrun_is_rejected(self):
+        buf = memoryview(bytearray(128))
+        _FRAME_HEADER.pack_into(buf, 0, _ARENA_MAGIC, 0, 0, 0, 1 << 40)
+        with pytest.raises(ArenaIntegrityError, match="overruns"):
+            _read_encoded(buf, 0, len(buf), expected_seq=0, check=False)
+
+
+@needs_fork
+class TestArenaFallbackAndGrowth:
+    def test_oversize_bundle_falls_back_to_pipe(self):
+        arena = _Arena(f"{POOL_SEGMENT_PREFIX}test-{os.getpid()}", 1, slots=2)
+        try:
+            big = np.zeros(4 * arena.slot_size, dtype=np.uint8)
+            via = arena.write(0, big, seq=1, check=True)
+            assert via[0] == "pipe"
+            np.testing.assert_array_equal(arena.read(0, via, seq=1, check=True), big)
+            small = {"k": 1}
+            via = arena.write(1, small, seq=2, check=True)
+            assert via[0] == "shm"
+            assert arena.read(1, via, seq=2, check=True) == small
+        finally:
+            arena.destroy()
+
+    def test_shortfall_grows_the_next_generation(self, setup):
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph, name="grow")
+        pool = _pool(cluster, plan)
+        base = pool._arena_size(plan)
+        pool.note_arena_shortfall(8 * base)
+        assert pool._arena_size(plan) >= 16 * base
+
+    def test_tiny_arena_run_is_byte_identical(self, monkeypatch):
+        """With the arenas squeezed to one page every bundle overflows to
+        the pipe fallback - and the result must not change by a byte."""
+        graph = generators.erdos_renyi(40, 3.0, seed=7)
+        serial = run_kimbap("PR", "tiny", 4, graph=graph, threads=4)
+        monkeypatch.setattr(HostShardPool, "_arena_size", lambda self, plan: 4096)
+        parallel = run_kimbap("PR", "tiny", 4, graph=graph, threads=4, jobs=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+
+# ----------------------- shutdown diagnostics + interpreter-exit guard
+
+
+@needs_fork
+class TestEndRunDiagnostics:
+    def test_dead_worker_at_end_of_failed_run_is_recorded(self, setup):
+        """Satellite fix: ``end_run`` no longer swallows arbitrary
+        RuntimeErrors - only the typed peer-failure family is tolerated
+        after a failed run, and every instance leaves a diagnostic."""
+        cluster, pgraph = setup
+        plan = _shardable_plan(cluster, pgraph, name="diag")
+        pool = create_pool(Executor(cluster, jobs=2), plan)
+        before = _segments()
+        assert pool.begin_run(plan)
+        process, _ = pool.workers[0]
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10)
+        pool.end_run(failed=True)
+        assert pool.deaths_detected >= 1
+        assert any("end_run" in line for line in pool.diagnostics)
+        assert pool.workers == []
+        assert _segments() == before
+
+
+@needs_fork
+class TestAtexitCleanup:
+    def test_interrupted_process_reaps_segments(self, tmp_path):
+        """Satellite fix: a KeyboardInterrupt that reaches interpreter
+        exit with a live pool (no ``Executor.close()``) still unlinks
+        every /dev/shm segment and reaps the workers via atexit."""
+        script = tmp_path / "pool_child.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import signal
+
+                from repro.cluster import Cluster
+                from repro.core.propmap import NodePropMap
+                from repro.core.reducers import MIN
+                from repro.exec import (
+                    EdgePush,
+                    Executor,
+                    Operator,
+                    OperatorStep,
+                    Plan,
+                )
+                from repro.exec.pool import create_pool
+                from repro.graph import generators
+                from repro.partition.policies import partition
+
+                graph = generators.erdos_renyi(24, 2.0, seed=5)
+                cluster = Cluster(4, threads_per_host=2)
+                pgraph = partition(graph, 4, "cvc")
+                target = NodePropMap(cluster, pgraph, "atexit")
+                plan = Plan(
+                    name="atexit",
+                    pgraph=pgraph,
+                    steps=[
+                        OperatorStep(
+                            Operator(
+                                "push", "all", EdgePush(target=target, op=MIN)
+                            )
+                        )
+                    ],
+                    once=True,
+                )
+                pool = create_pool(Executor(cluster, jobs=2), plan)
+                assert pool.begin_run(plan)
+                print("READY", flush=True)
+                signal.pause()
+                """
+            )
+        )
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        before = _segments()
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            assert len(_segments()) > len(before)
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=20) != 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - hung child
+                proc.kill()
+                proc.wait(timeout=10)
+            proc.stdout.close()
         assert _segments() == before
