@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Wall-clock speedup of the bulk and host-parallel execution paths.
+"""Wall-clock speedup of the bulk, codegen, and host-parallel paths.
 
 Standalone script (no pytest dependency - CI's smoke job runs it directly):
 for each app cell it runs the full backend matrix on the same workload -
-scalar ``jobs=1`` (the oracle), scalar ``jobs=4``, bulk ``jobs=1``, and
-bulk ``jobs=2/4`` (host-shard process parallelism, ``repro.exec.pool``) -
-times every
+scalar ``jobs=1`` (the oracle), scalar ``jobs=4``, interpreted bulk
+``jobs=1`` (``codegen=False``), generated-kernel bulk ``jobs=1``
+(``repro.exec.codegen``, the bulk default), and bulk ``jobs=2/4``
+(host-shard process parallelism, ``repro.exec.pool``) - times every
 variant with ``time.perf_counter``, and **asserts the byte-identical
 equivalence contract** against the scalar oracle: ``RunResult.to_dict()``
 (counters, conflict counts, modeled seconds, traces) and the final
@@ -15,8 +16,12 @@ the CI smoke job doubles as the equivalence gate.
 On runners with at least 4 cores the script additionally gates on real
 parallel speedup: the headline cell's scalar ``jobs=4`` run must beat
 scalar ``jobs=1`` by ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 1.8x),
-and bulk ``jobs=2`` must beat bulk ``jobs=1`` by
-``REPRO_BENCH_MIN_BULK_J2_SPEEDUP`` (default 1.3x). The scalar backend is
+bulk ``jobs=2`` must beat bulk ``jobs=1`` by
+``REPRO_BENCH_MIN_BULK_J2_SPEEDUP`` (default 1.3x), and generated
+kernels must beat the interpreted bulk path by
+``REPRO_BENCH_MIN_CODEGEN_SPEEDUP`` (default 1.2x) at the same jobs=1
+configuration (that ratio is core-count independent, but it shares the
+gate switch so loaded single-core machines never fail on timer noise). The scalar backend is
 the easy parallelism demonstration: its compute phases dominate the run.
 The bulk gate is the honest one (the COST caution of PAPERS.md): the
 vectorized baseline is fast, so winning against it demands the
@@ -54,14 +59,17 @@ TITLE = (
     "Bulk + host-parallel execution paths: wall-clock speedup "
     "(byte-identical metrics)"
 )
-# Backend matrix per cell: (column key, bulk flag, jobs). The scalar
-# jobs=1 run is the oracle every other variant must match byte for byte.
+# Backend matrix per cell: (column key, bulk flag, jobs, codegen). The
+# scalar jobs=1 run is the oracle every other variant must match byte for
+# byte; bulk_nocg_j1 pins the interpreted bulk kernels (codegen=False) as
+# the honest baseline for the codegen speedup column.
 MATRIX = (
-    ("scalar_j1", False, 1),
-    ("scalar_j4", False, 4),
-    ("bulk_j1", True, 1),
-    ("bulk_j2", True, 2),
-    ("bulk_j4", True, 4),
+    ("scalar_j1", False, 1, None),
+    ("scalar_j4", False, 4, None),
+    ("bulk_nocg_j1", True, 1, False),
+    ("bulk_j1", True, 1, None),
+    ("bulk_j2", True, 2, None),
+    ("bulk_j4", True, 4, None),
 )
 HEADERS = (
     "app",
@@ -69,10 +77,12 @@ HEADERS = (
     "hosts",
     "scalar j1(s)",
     "scalar j4(s)",
+    "bulk nocg(s)",
     "bulk j1(s)",
     "bulk j2(s)",
     "bulk j4(s)",
     "bulk/scalar",
+    "codegen",
     "scalar j4/j1",
     "bulk j2/j1",
     "bulk j4/j1",
@@ -92,6 +102,10 @@ def min_parallel_speedup() -> float:
 
 def min_bulk_j2_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_MIN_BULK_J2_SPEEDUP", "1.3"))
+
+
+def min_codegen_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_CODEGEN_SPEEDUP", "1.2"))
 
 
 def gate_speedup() -> bool:
@@ -128,10 +142,11 @@ def run_cell(app: str, graph_name: str, hosts: int) -> dict:
     graph = load_graph(graph_name, weighted=(app == "SSSP"))
     wallclock: dict[str, float] = {}
     results: dict[str, object] = {}
-    for key, bulk, jobs in MATRIX:
+    for key, bulk, jobs, codegen in MATRIX:
         start = time.perf_counter()
         results[key] = run_kimbap(
-            app, graph_name, hosts, graph=graph, bulk=bulk, jobs=jobs
+            app, graph_name, hosts, graph=graph, bulk=bulk, jobs=jobs,
+            codegen=codegen,
         )
         wallclock[key] = time.perf_counter() - start
     oracle = results["scalar_j1"]
@@ -159,6 +174,11 @@ def run_cell(app: str, graph_name: str, hosts: int) -> dict:
         "parallel_speedup": (
             wallclock["scalar_j1"] / wallclock["scalar_j4"]
             if wallclock["scalar_j4"] > 0
+            else float("inf")
+        ),
+        "codegen_speedup": (
+            wallclock["bulk_nocg_j1"] / wallclock["bulk_j1"]
+            if wallclock["bulk_j1"] > 0
             else float("inf")
         ),
         "bulk_j2_speedup": (
@@ -193,10 +213,12 @@ def main() -> int:
             r["hosts"],
             f"{r['wallclock_s']['scalar_j1']:.3f}",
             f"{r['wallclock_s']['scalar_j4']:.3f}",
+            f"{r['wallclock_s']['bulk_nocg_j1']:.3f}",
             f"{r['wallclock_s']['bulk_j1']:.3f}",
             f"{r['wallclock_s']['bulk_j2']:.3f}",
             f"{r['wallclock_s']['bulk_j4']:.3f}",
             f"{r['bulk_speedup']:.1f}x",
+            f"{r['codegen_speedup']:.2f}x",
             f"{r['parallel_speedup']:.2f}x",
             f"{r['bulk_j2_speedup']:.2f}x",
             f"{r['bulk_parallel_speedup']:.2f}x",
@@ -226,6 +248,7 @@ def main() -> int:
         "speedup_gated": gate_speedup(),
         "min_parallel_speedup": min_parallel_speedup(),
         "min_bulk_j2_speedup": min_bulk_j2_speedup(),
+        "min_codegen_speedup": min_codegen_speedup(),
         "fast_mode": fast_mode(),
     }
     with open(os.path.join(reports_dir, "bench_wallclock_speedup.json"), "w") as handle:
@@ -260,11 +283,21 @@ def main() -> int:
             f"(< {min_bulk_j2_speedup():.1f}x, cpu_count={os.cpu_count()})",
             file=sys.stderr,
         )
+    if gate_speedup() and headline["codegen_speedup"] < min_codegen_speedup():
+        failed = True
+        print(
+            f"SPEEDUP FAILURE: headline {headline['app']} "
+            f"{headline['graph']}@{headline['hosts']} generated kernels "
+            f"over interpreted bulk is {headline['codegen_speedup']:.2f}x "
+            f"(< {min_codegen_speedup():.1f}x, cpu_count={os.cpu_count()})",
+            file=sys.stderr,
+        )
     if failed:
         return 1
     print(
         f"headline: {headline['app']} {headline['graph']}@{headline['hosts']} "
         f"bulk/scalar {headline['bulk_speedup']:.1f}x, "
+        f"codegen {headline['codegen_speedup']:.2f}x, "
         f"scalar j4/j1 {headline['parallel_speedup']:.2f}x, "
         f"bulk j2/j1 {headline['bulk_j2_speedup']:.2f}x, "
         f"bulk j4/j1 {headline['bulk_parallel_speedup']:.2f}x, "

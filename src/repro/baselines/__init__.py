@@ -9,6 +9,12 @@
   adjacent-vertex system. Mirrors always cached, reductions applied with
   atomics directly into the cached values during compute, partitioning-
   invariant communication elisions. Kimbap-LP must be comparable to it.
+* :mod:`repro.baselines.cost` - the COST guardrail ("Scalability! But at
+  what COST?"): single-threaded straight-loop implementations of
+  PageRank/SSSP/CC - one per baseline strength the COST paper uses
+  (same-algorithm and tuned) - that the simulator's parallel
+  configurations are benchmarked against
+  (``benchmarks/bench_cost_baseline.py``).
 * :mod:`repro.baselines.galois` - Galois [64]: single-host shared-memory
   asynchronous runtime. In-place atomic updates are immediately visible,
   so pointer jumping converges in a handful of sweeps (Table 3's Galois
@@ -16,6 +22,15 @@
   (Table 3's Galois loss on LD).
 """
 
+from repro.baselines.cost import (
+    COST_BASELINES,
+    COST_STRAIGHT,
+    cost_cc,
+    cost_cc_rounds,
+    cost_pagerank,
+    cost_sssp,
+    cost_sssp_rounds,
+)
 from repro.baselines.vite import vite_louvain
 from repro.baselines.gluon import gluon_bfs, gluon_cc_lp, gluon_sssp
 from repro.baselines.async_mode import async_cc_lp
@@ -29,6 +44,13 @@ from repro.baselines.galois import (
 )
 
 __all__ = [
+    "COST_BASELINES",
+    "COST_STRAIGHT",
+    "cost_cc",
+    "cost_cc_rounds",
+    "cost_pagerank",
+    "cost_sssp",
+    "cost_sssp_rounds",
     "vite_louvain",
     "gluon_cc_lp",
     "gluon_bfs",

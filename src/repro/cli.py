@@ -68,6 +68,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     print(_result_rows([result]))
     print(f"rounds: {result.rounds}")
@@ -91,6 +92,7 @@ def cmd_variants(args: argparse.Namespace) -> int:
             threads=args.threads,
             bulk=args.bulk,
             jobs=args.jobs,
+            codegen=False if args.no_codegen else None,
         )
         for variant in (
             RuntimeVariant.MC,
@@ -111,6 +113,7 @@ def cmd_compare_lv(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     vite = run_vite(args.graph, args.hosts, threads=args.threads)
     galois = run_galois("LV", args.graph, threads=args.threads)
@@ -133,6 +136,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     timeline = result.timeline()
     write_chrome_trace(args.out, timeline)
@@ -160,6 +164,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     cluster = result.cluster
     costs = top_phases(cluster.log, cluster.cost_model, result.threads, k=args.top)
@@ -211,6 +216,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     faulted = run_kimbap(
         args.app,
@@ -221,6 +227,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         fault_plan=plan,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
     )
     print(_result_rows([baseline, faulted]))
     if faulted.outcome != "ok":
@@ -303,6 +310,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=1,
+        codegen=False if args.no_codegen else None,
     )
     chaotic = run_kimbap(
         args.app,
@@ -312,6 +320,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         threads=args.threads,
         bulk=args.bulk,
         jobs=args.jobs,
+        codegen=False if args.no_codegen else None,
         chaos_plan=chaos,
         recovery=args.policy,
     )
@@ -419,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--bulk",
             action="store_true",
             help="use the vectorized bulk kernel backend (byte-identical)",
+        )
+        sub_parser.add_argument(
+            "--no-codegen",
+            action="store_true",
+            help="disable plan-to-kernel code generation on the bulk "
+            "backend (interpreted kernel bodies; byte-identical)",
         )
 
     run = sub.add_parser("run", help="run one application on the simulated cluster")

@@ -139,6 +139,13 @@ class PhaseRecord:
     # injector (straggler modeling); None - the overwhelmingly common
     # case - prices identically to all-ones.
     slowdown: list[float] | None = None
+    # Constituent operator labels of the fused kernel group this phase ran
+    # in (repro.exec.codegen): the phase keeps its own record - counters,
+    # traffic, label - so profiles stay per-step, and the tuple marks the
+    # generated kernel it executed inside for trace attribution. Never
+    # serialized (like ``slowdown``), so fusion cannot perturb the
+    # byte-identity contract.
+    fused: tuple[str, ...] | None = None
 
     @classmethod
     def empty(

@@ -236,6 +236,50 @@ class NodePropMap:
             np.asarray(threads), keys, np.asarray(values), op
         )
 
+    def prepare_reduce_bulk(
+        self, host: int, threads: np.ndarray, keys: np.ndarray
+    ) -> Any | None:
+        """Precompute the fold plan for a *static* reduce batch (codegen).
+
+        Generated kernels (``repro.exec.codegen``) push with the same
+        ``(threads, keys)`` arrays every round, so the key validation and
+        the composite-key sort of :meth:`reduce_bulk` are hoisted to
+        generation time. Returns None when this host's reduction strategy
+        has no prepared path (shared-map and key-value-store strategies
+        draw conflicts from runtime state) - callers then use the plain
+        :meth:`reduce_bulk`.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return None
+        prepare = getattr(self.reductions[host], "prepare_bulk", None)
+        if prepare is None:
+            return None
+        bad = (keys < 0) | (keys >= self.pgraph.num_nodes)
+        if bad.any():
+            key = int(keys[bad][0])
+            raise KeyError(
+                f"reduce target {key} is not a node id (graph has "
+                f"{self.pgraph.num_nodes} nodes)"
+            )
+        return prepare(np.asarray(threads), keys)
+
+    def reduce_bulk_prepared(
+        self, host: int, prepared: Any, values: np.ndarray, op: ReduceOp
+    ) -> None:
+        """:meth:`reduce_bulk` via a :meth:`prepare_reduce_bulk` plan:
+        byte-identical charges, conflicts, and folded state."""
+        if self._op is None:
+            self._op = op
+        elif self._op.name != op.name:
+            raise ValueError(
+                f"map {self.name!r} reduced with {op.name!r} after {self._op.name!r}; "
+                "a map uses a single reduction operator per loop"
+            )
+        self.reductions[host].reduce_bulk_prepared(
+            prepared, np.asarray(values), op
+        )
+
     # ----------------------------------------------------------- compiler API
 
     def reset_updated(self) -> None:

@@ -69,6 +69,78 @@ def _fold_batch(
     return uniq, acc
 
 
+class PreparedFold:
+    """A precomputed composite-key fold plan for a *static* reduce batch.
+
+    Plan-to-kernel codegen (``repro.exec.codegen``) reduces with the same
+    ``(threads, keys)`` arrays every round - only the values change - so
+    the expensive part of :func:`_fold_batch` (the ``np.unique`` sort and
+    the first/duplicate decomposition of the composite keys) is a pure
+    function of the batch shape and can be assembled once. Applying the
+    plan replays exactly the fold ``_fold_batch`` would compute: same
+    first-occurrence assignment, same ``ufunc.at`` duplicate application
+    order, same sorted unique keys - bit-identical folded state.
+
+    Holds the original ``threads``/``keys`` so a consumer can fall back to
+    the generic :meth:`ThreadLocalReduction.reduce_bulk` whenever the fast
+    path's preconditions (clean thread maps, ufunc-foldable op) fail at
+    run time.
+    """
+
+    __slots__ = (
+        "threads",
+        "keys",
+        "count",
+        "span",
+        "uniq",
+        "first_idx",
+        "rest",
+        "inverse_rest",
+        "last",
+    )
+
+    def __init__(self, threads: np.ndarray, keys: np.ndarray) -> None:
+        def frozen(array: np.ndarray) -> np.ndarray:
+            array.flags.writeable = False
+            return array
+
+        self.threads = threads
+        self.keys = keys
+        self.count = int(keys.size)
+        self.span = int(keys.max()) + 1
+        composite = threads * self.span + keys
+        uniq, first_idx, inverse = np.unique(
+            composite, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        self.uniq = frozen(uniq)
+        self.first_idx = frozen(first_idx)
+        rest = np.ones(self.count, dtype=bool)
+        rest[first_idx] = False
+        self.rest = frozen(rest)
+        self.inverse_rest = frozen(inverse[rest])
+        # Last occurrence per key, for the overwrite fold.
+        last = np.zeros(uniq.size, dtype=np.int64)
+        np.maximum.at(last, inverse, np.arange(self.count, dtype=np.int64))
+        self.last = frozen(last)
+
+    def fold(self, values: np.ndarray, op: ReduceOp) -> np.ndarray:
+        """The value-side of :func:`_fold_batch` under this plan.
+
+        Deliberately replays ``_fold_batch``'s first-occurrence +
+        ``ufunc.at`` decomposition rather than e.g. ``reduceat`` over a
+        sorted copy: ``add.reduceat`` folds segments pairwise, which is
+        not bit-identical to the sequential left-to-right application
+        the scalar oracle produces.
+        """
+        if op.name == "overwrite":
+            return values[self.last]
+        acc = values[self.first_idx]
+        if self.inverse_rest.size:
+            op.ufunc.at(acc, self.inverse_rest, values[self.rest])
+        return acc
+
+
 class ThreadLocalReduction:
     """Conflict-free (CF): one private map per virtual thread."""
 
@@ -145,6 +217,33 @@ class ThreadLocalReduction:
                 local_map[key] = op(local_map[key], value)
             else:
                 local_map[key] = value
+
+    def prepare_bulk(
+        self, threads: np.ndarray, keys: np.ndarray
+    ) -> PreparedFold | None:
+        """Assemble a :class:`PreparedFold` for a static batch (codegen)."""
+        if keys.size == 0:
+            return None
+        return PreparedFold(np.asarray(threads), np.asarray(keys, dtype=np.int64))
+
+    def reduce_bulk_prepared(
+        self, prepared: PreparedFold, values: np.ndarray, op: ReduceOp
+    ) -> None:
+        """:meth:`reduce_bulk` over a precomputed fold plan: identical
+        charges and folded state, minus the per-round key sort. Falls back
+        to the generic path whenever its preconditions do not hold."""
+        values = np.asarray(values)
+        if (
+            self._batch is not None
+            or any(self.maps)
+            or values.dtype == object
+            or (op.ufunc is None and op.name != "overwrite")
+        ):
+            self.reduce_bulk(prepared.threads, prepared.keys, values, op)
+            return
+        counters = self.cluster.counters(self.host_id)
+        counters.reduce_calls += prepared.count
+        self._batch = (prepared.span, prepared.uniq, prepared.fold(values, op))
 
     def _spill_batch(self) -> None:
         """Move the folded batch into the thread dicts (values unchanged)."""

@@ -270,6 +270,7 @@ def run_kimbap(
     jobs: int = 1,
     chaos_plan: Any | None = None,
     recovery: str = "fail-fast",
+    codegen: bool | None = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run a Kimbap application on the simulated cluster.
@@ -279,7 +280,10 @@ def run_kimbap(
     per-algorithm flag, so every application supports it. ``jobs`` fans
     shardable compute phases out to that many OS processes
     (``repro.exec.pool``); it composes with either backend and preserves
-    byte-identical results by contract.
+    byte-identical results by contract. ``codegen`` controls the
+    plan-to-kernel generation stage (``repro.exec.codegen``; None = on
+    for the bulk backend); ``codegen=False`` pins the interpreted bulk
+    kernels, byte-identical by contract.
 
     With a ``fault_plan``, the run executes under deterministic fault
     injection (``repro.faults``) and the result carries the structured
@@ -302,7 +306,12 @@ def run_kimbap(
     if fault_plan is not None:
         injector = install_faults(cluster, fault_plan)
     executor = Executor(
-        cluster, bulk=bulk, jobs=jobs, recovery=recovery, chaos=chaos_plan
+        cluster,
+        bulk=bulk,
+        jobs=jobs,
+        recovery=recovery,
+        chaos=chaos_plan,
+        codegen=codegen,
     )
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:

@@ -4,9 +4,18 @@ Algorithms are written once as declarative :class:`Plan` objects
 (operator specs + a loop/convergence driver); a single :class:`Executor`
 dispatches each plan to the scalar reference backend or the vectorized
 bulk backend with byte-identical metrics, and hosts the shared
-checkpoint/recovery and trace/profile wiring.
+checkpoint/recovery and trace/profile wiring. The code generation stage
+(:mod:`repro.exec.codegen`) lowers each plan to a flat list of prebound,
+specialized (and where legal, fused) kernels the per-round loop replays.
 """
 
+from repro.exec.codegen import (
+    CompiledOperator,
+    CompiledPlan,
+    FusedGroup,
+    compile_plan,
+    fusion_enabled,
+)
 from repro.exec.executor import Executor
 from repro.exec.plan import (
     PLAN_SCHEMA,
@@ -26,7 +35,12 @@ from repro.exec.plan import (
 )
 
 __all__ = [
+    "CompiledOperator",
+    "CompiledPlan",
     "Executor",
+    "FusedGroup",
+    "compile_plan",
+    "fusion_enabled",
     "PLAN_SCHEMA",
     "DegreeReduce",
     "EdgePush",

@@ -1,0 +1,530 @@
+"""Plan-to-kernel code generation: the compiled per-round execution path.
+
+Given a :class:`~repro.exec.plan.Plan` and a concrete ``(cluster,
+backend)`` binding, :func:`compile_plan` lowers the plan's step walk into
+a :class:`CompiledPlan` - a flat list of prebound entries the executor
+replays each round with no per-round ``isinstance`` dispatch, no per-round
+kernel-closure construction, and (on the bulk backend) *specialized*
+kernels whose static inputs are assembled exactly once:
+
+* **Dispatch caching** - every step's backend decision (``par_for`` vs
+  ``par_for_bulk``, scalar vs bulk kernel body, reset/host callables) is
+  made at compile time, once per ``(plan, executor)`` binding.
+* **Specialization** - a statically analyzable bulk kernel (an
+  :class:`~repro.exec.plan.EdgePush` with no activity/value/edge filter, a
+  :class:`~repro.exec.plan.NodeUpdate`, a
+  :class:`~repro.exec.plan.DegreeReduce`) is compiled per host into a
+  straight-line numpy runner over *preassembled* CSR slices: the degree
+  filter, edge expansion (``source_pos``/``edge_ids``), thread dealing,
+  destination gather, weights, and constant pushes are computed once and
+  frozen; each round only reads the live property values, applies the
+  baked transform, and reduces. Charge constants (``charge_per_source *
+  |sel|``, ``charge_per_edge * |edges|``, thread boundaries) are baked at
+  generation time. The per-round work drops from the full O(E) expansion
+  pipeline to one gather + one reduce.
+* **Fusion** - maximal runs of *adjacent* specialized operator steps with
+  compatible reads/writes metadata (no later step reads a map an earlier
+  step writes; no key-value-store carriers) fuse into one
+  :class:`FusedGroup` that executes all constituents per host in a single
+  pass. Every constituent keeps its own :class:`PhaseRecord` (opened
+  up-front in step order via :meth:`Cluster.fused_phases`), so counters,
+  traffic, modeled seconds, and trace rows stay byte-identical to the
+  unfused walk; the records carry the group's labels in
+  ``PhaseRecord.fused`` so profiles remain interpretable.
+
+The byte-identity contract is the same one the bulk backend honors
+against the scalar oracle: a compiled run's ``RunResult.to_dict()`` -
+counters, conflicts, modeled seconds, trace rows - matches the
+interpreted bulk path exactly (``tests/test_codegen_equivalence.py``).
+Composition rules mirror the ``jobs=N`` pool gating (PR 6): fusion is
+disabled when a fault injector is installed (its ``on_phase_start`` hook
+needs the serial per-phase cadence) or when a memory limit is set (an OOM
+can surface on a different host under the fused per-host interleave);
+specialization alone stays on everywhere because it preserves the exact
+per-host event sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.reducers import SUM
+from repro.exec.plan import (
+    DegreeReduce,
+    EdgePush,
+    HostStep,
+    NodeUpdate,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResetStep,
+    ScalarKernel,
+    SyncStep,
+)
+from repro.runtime.engine import _iteration_set, par_for, par_for_bulk
+
+# Compiled-entry tags (repro.exec.executor.run_round's closed dispatch set):
+# a compute phase, a fused compute group, a sync collective, and a prebound
+# zero-argument callable (reset / host steps).
+ENTRY_OPERATOR = 0
+ENTRY_FUSED = 1
+ENTRY_SYNC = 2
+ENTRY_EXEC = 3
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark a precomputed array immutable: specialized kernels hand the
+    same array objects to ``reduce_bulk`` every round, so accidental
+    in-place mutation downstream must fail loudly, not corrupt a run."""
+    array.flags.writeable = False
+    return array
+
+
+# ------------------------------------------------------- specialized kernels
+
+
+class _SpecializedKernel:
+    """A bulk kernel compiled per host on first visit, then replayed.
+
+    Subclasses build one zero-argument runner closure per host over the
+    host's static arrays; ``run_host`` is called inside an open phase with
+    ``node_iters`` already charged (by :func:`run_hosted` or a
+    :class:`FusedGroup`), exactly like an interpreted bulk body.
+    """
+
+    def __init__(self, kernel: Any, space: str) -> None:
+        self.kernel = kernel
+        self.space = space
+        self._runners: dict[int, Callable[[], None]] = {}
+
+    def run_host(self, cluster: Cluster, part: Any, host: int) -> None:
+        runner = self._runners.get(host)
+        if runner is None:
+            runner = self._build(cluster, part, host)
+            self._runners[host] = runner
+        runner()
+
+    def _build(self, cluster: Cluster, part: Any, host: int):
+        raise NotImplementedError
+
+
+def _noop() -> None:
+    return None
+
+
+class SpecializedEdgePush(_SpecializedKernel):
+    """A filter-free EdgePush with its whole static pipeline preassembled.
+
+    Mirrors ``Executor._edge_push_bulk`` aggregate-for-aggregate: the
+    degree selection, per-source/per-edge charges, ``edge_iters`` total,
+    thread dealing, destination gather, and weight vector are a pure
+    function of the partition, so they are computed once; per round only
+    the source read, the transform, and the value gather + reduce run.
+    """
+
+    def _build(self, cluster: Cluster, part: Any, host: int):
+        k = self.kernel
+        total = len(_iteration_set(part, self.space))
+        indptr = part.indptr
+        local_ids = np.arange(total, dtype=np.int64)
+        degrees = indptr[local_ids + 1] - indptr[local_ids]
+        if k.skip_zero_degree:
+            sel = np.flatnonzero(degrees > 0)
+            if sel.size == 0:
+                return _noop
+        else:
+            sel = local_ids
+        if sel.size == 0:
+            return _noop
+        charge_src = int(k.charge_per_source * sel.size)
+        node_sel = _freeze(part.local_to_global[sel])
+        # The edge expansion of BulkOperatorContext.expand_edges, computed
+        # once; its edge_iters charge is baked as ``edge_total``.
+        starts = indptr[sel]
+        counts = indptr[sel + 1] - starts
+        edge_total = int(counts.sum())
+        charge_edge = int(k.charge_per_edge * edge_total)
+        if edge_total:
+            source_pos = np.repeat(np.arange(sel.size, dtype=np.int64), counts)
+            offsets = np.cumsum(counts) - counts
+            edge_ids = (
+                np.arange(edge_total, dtype=np.int64)
+                - np.repeat(offsets, counts)
+                + np.repeat(starts, counts)
+            )
+            threads_sel = _freeze(cluster.threads_of(total)[sel][source_pos])
+            dst = _freeze(part.local_to_global[part.indices[edge_ids]])
+            source_pos = _freeze(source_pos)
+            prepared = k.target.prepare_reduce_bulk(host, threads_sel, dst)
+        else:
+            source_pos = threads_sel = dst = prepared = None
+        weights = None
+        if k.with_weight == "add" and edge_total:
+            if k.unit_weights or part.weights is None:
+                weights = np.ones(edge_total, dtype=np.float64)
+            else:
+                weights = part.weights[edge_ids]
+            weights = _freeze(np.asarray(weights))
+        const_pushes = None
+        if k.const_value is not None and edge_total:
+            const_pushes = np.full(edge_total, k.const_value)
+            if weights is not None:
+                const_pushes = const_pushes + weights
+            const_pushes = _freeze(const_pushes)
+        sel = _freeze(sel)
+        source, target, op, transform = k.source, k.target, k.op, k.transform
+
+        def run() -> None:
+            counters = cluster.counters(host)
+            if charge_src:
+                counters.local_ops += charge_src
+            values = None
+            if source is not None:
+                values = source.read_local_bulk(host, sel)
+                if transform is not None:
+                    values = np.asarray(transform(values, node_sel))
+            counters.edge_iters += edge_total
+            if charge_edge:
+                counters.local_ops += charge_edge
+            if edge_total == 0:
+                return
+            if const_pushes is not None:
+                pushes = const_pushes
+            else:
+                pushes = values[source_pos]
+                if weights is not None:
+                    pushes = pushes + weights
+            if prepared is not None:
+                target.reduce_bulk_prepared(host, prepared, pushes, op)
+            else:
+                target.reduce_bulk(host, threads_sel, dst, pushes, op)
+
+        return run
+
+
+class SpecializedNodeUpdate(_SpecializedKernel):
+    """A NodeUpdate with node ids, thread dealing, and the per-node charge
+    baked; per round only the value callable and the reduce run."""
+
+    def _build(self, cluster: Cluster, part: Any, host: int):
+        k = self.kernel
+        total = len(_iteration_set(part, self.space))
+        charge_node = int(k.charge_per_node * total)
+        if total == 0:
+            return _noop
+        node_ids = part.local_to_global[:total]
+        threads = cluster.threads_of(total)
+        value, target, op = k.value, k.target, k.op
+        prepared = target.prepare_reduce_bulk(host, threads, node_ids)
+
+        def run() -> None:
+            if charge_node:
+                cluster.counters(host).local_ops += charge_node
+            values = np.asarray(value(node_ids))
+            if prepared is not None:
+                target.reduce_bulk_prepared(host, prepared, values, op)
+            else:
+                target.reduce_bulk(host, threads, node_ids, values, op)
+
+        return run
+
+
+class SpecializedDegreeReduce(_SpecializedKernel):
+    """A DegreeReduce is fully static: degrees never change, so the whole
+    selection and value vector is precomputed and only the reduce runs."""
+
+    def _build(self, cluster: Cluster, part: Any, host: int):
+        k = self.kernel
+        total = len(_iteration_set(part, self.space))
+        local_ids = np.arange(total, dtype=np.int64)
+        indptr = part.indptr
+        degs = indptr[local_ids + 1] - indptr[local_ids]
+        sel = np.flatnonzero(degs > 0)
+        if sel.size == 0:
+            return _noop
+        threads_sel = _freeze(cluster.threads_of(total)[sel])
+        node_sel = _freeze(part.local_to_global[sel])
+        degs_sel = _freeze(degs[sel])
+        target = k.target
+        prepared = target.prepare_reduce_bulk(host, threads_sel, node_sel)
+
+        def run() -> None:
+            if prepared is not None:
+                target.reduce_bulk_prepared(host, prepared, degs_sel, SUM)
+            else:
+                target.reduce_bulk(host, threads_sel, node_sel, degs_sel, SUM)
+
+        return run
+
+
+def run_hosted(
+    cluster: Cluster,
+    pgraph: Any,
+    mode: str,
+    body: _SpecializedKernel,
+    kind: Any,
+    label: str = "",
+    hosts: Any | None = None,
+) -> None:
+    """The specialized-kernel driver: ``par_for_bulk``'s phase/accounting
+    shell without the per-round context construction. Signature-compatible
+    with the pool's ``run_sharded`` driver slot (``hosts`` restricts the
+    visit to a shard)."""
+    operator = label or type(body).__name__
+    with cluster.phase(kind, label=label, operator=operator):
+        for host in range(cluster.num_hosts) if hosts is None else hosts:
+            part = pgraph.parts[host]
+            total = len(_iteration_set(part, mode))
+            cluster.counters(host).node_iters += total
+            body.run_host(cluster, part, host)
+
+
+# ----------------------------------------------------------- compiled steps
+
+
+class CompiledOperator:
+    """One compute phase with its backend dispatch decided at compile time:
+    the driver (``par_for`` / ``par_for_bulk`` / :func:`run_hosted`) and
+    the bound kernel body, reused every round."""
+
+    __slots__ = ("operator", "driver", "body", "specialized")
+
+    def __init__(self, operator: Operator, driver, body, specialized: bool) -> None:
+        self.operator = operator
+        self.driver = driver
+        self.body = body
+        self.specialized = specialized
+
+
+class FusedGroup:
+    """Adjacent specialized compute phases generated into one kernel.
+
+    Executes all constituents per host in a single pass. Each constituent
+    keeps its own phase record (opened up-front in step order), so the
+    metrics log is byte-identical to the unfused walk: per-host work is
+    independent inside a BSP phase, reductions are per-host state, and no
+    constituent reads a map another constituent writes (the fusion
+    compatibility rule), so the per-host interleave is unobservable.
+
+    Under ``jobs=N`` the group runs over the local host shard when *every*
+    constituent is shardable (the records then queue into the pool's
+    pending exchange in step order, see ``HostShardPool.defer_fused``);
+    otherwise the whole group runs replicated after a flush, mirroring the
+    single-operator fallback.
+    """
+
+    __slots__ = ("ops", "labels", "specs")
+
+    def __init__(self, ops: list[CompiledOperator]) -> None:
+        self.ops = ops
+        self.labels = tuple(c.operator.label for c in ops)
+        self.specs = tuple(
+            (c.operator.kind, c.operator.label) for c in ops
+        )
+
+    def run(self, executor, pgraph) -> None:
+        cluster = executor.cluster
+        pool = executor._pool
+        sharded = False
+        hosts = range(cluster.num_hosts)
+        if pool is not None and pool.active:
+            if all(pool.shardable(c.operator) for c in self.ops):
+                sharded = True
+                hosts = pool.shard
+            else:
+                pool.flush()
+        with cluster.fused_phases(self.specs, fused=self.labels) as records:
+            for host in hosts:
+                part = pgraph.parts[host]
+                for compiled, record in zip(self.ops, records):
+                    cluster.activate_phase(record)
+                    total = len(_iteration_set(part, compiled.operator.space))
+                    record.counters[host].node_iters += total
+                    compiled.body.run_host(cluster, part, host)
+        if sharded:
+            pool.defer_fused([c.operator for c in self.ops], records)
+
+
+class CompiledPlan:
+    """A plan lowered to a flat entry list the executor replays per round."""
+
+    __slots__ = ("plan", "entries", "fused_groups")
+
+    def __init__(self, plan: Plan, entries: list[tuple]) -> None:
+        self.plan = plan
+        self.entries = entries
+        self.fused_groups = [
+            entry[1] for entry in entries if entry[0] == ENTRY_FUSED
+        ]
+
+
+# ----------------------------------------------------------------- compiler
+
+
+def _specializable(kernel: Any) -> bool:
+    """Static analyzability: the kernel's whole control flow is a pure
+    function of the partition (no per-round activity/value/edge filters)."""
+    if isinstance(kernel, EdgePush):
+        return (
+            kernel.require_active is None
+            and kernel.value_filter is None
+            and kernel.edge_filter is None
+        )
+    return isinstance(kernel, (NodeUpdate, DegreeReduce))
+
+
+def _kernel_carriers(kernel: Any) -> list[Any]:
+    carriers = [kernel.target]
+    for name in ("source", "require_active"):
+        extra = getattr(kernel, name, None)
+        if extra is not None:
+            carriers.append(extra)
+    return carriers
+
+
+def _fusable(operator: Operator) -> bool:
+    """Fusion eligibility: specialized forms only, and never a map backed
+    by the key-value store - KvCas reductions apply immediately against
+    shared server shards whose contention draws depend on the cross-host
+    execution order fusion changes."""
+    kernel = operator.kernel
+    if not _specializable(kernel):
+        return False
+    return not any(
+        getattr(c, "variant", None) is not None and c.variant.uses_kvstore
+        for c in _kernel_carriers(kernel)
+    )
+
+
+def _rw_compatible(group: list[Operator], nxt: Operator) -> bool:
+    """``nxt`` may join ``group`` iff it reads nothing any member writes:
+    pending reductions are invisible until sync anyway, but the metadata
+    check keeps fusion decisions explainable from the plan alone."""
+    reads = set(nxt.kernel.reads())
+    for member in group:
+        if any(name in reads for name, _ in member.kernel.writes()):
+            return False
+    return True
+
+
+def fusion_enabled(executor) -> bool:
+    """Fusion gating, mirroring the PR 6 pool pattern: the fault injector
+    needs its per-phase serial cadence, and a memory limit could surface
+    an OOM on a different host under the fused interleave."""
+    return (
+        executor.bulk
+        and executor.codegen
+        and executor.cluster.faults is None
+        and executor.cluster.memory_limit_slots is None
+    )
+
+
+_SPECIALIZED_FORMS = {
+    EdgePush: SpecializedEdgePush,
+    NodeUpdate: SpecializedNodeUpdate,
+    DegreeReduce: SpecializedDegreeReduce,
+}
+
+
+def _compile_operator(executor, operator: Operator) -> CompiledOperator:
+    kernel = operator.kernel
+    if isinstance(kernel, ScalarKernel):
+        # Reference-loop semantics on both backends (executor module doc).
+        return CompiledOperator(operator, par_for, kernel.body, False)
+    if executor.bulk and executor.codegen and _specializable(kernel):
+        body = _SPECIALIZED_FORMS[type(kernel)](kernel, operator.space)
+        return CompiledOperator(operator, run_hosted, body, True)
+    if isinstance(kernel, EdgePush):
+        body = (
+            executor._edge_push_bulk(kernel)
+            if executor.bulk
+            else executor._edge_push_scalar(kernel)
+        )
+    elif isinstance(kernel, NodeUpdate):
+        body = (
+            executor._node_update_bulk(kernel)
+            if executor.bulk
+            else executor._node_update_scalar(kernel)
+        )
+    elif isinstance(kernel, DegreeReduce):
+        body = (
+            executor._degree_reduce_bulk(kernel)
+            if executor.bulk
+            else executor._degree_reduce_scalar(kernel)
+        )
+    else:  # pragma: no cover - the kernel union is closed
+        raise TypeError(f"unknown kernel form {kernel!r}")
+    return CompiledOperator(
+        operator, par_for_bulk if executor.bulk else par_for, body, False
+    )
+
+
+def _compile_reset(executor, step: ResetStep) -> Callable[[], None]:
+    if step.elementwise:
+        return lambda: step.map.reset_values(step.values)
+    if executor.bulk:
+        bulk_values = lambda nodes: np.asarray(step.values(nodes))  # noqa: E731
+        return lambda: step.map.reset_values_bulk(bulk_values)
+    from repro.exec.executor import _elementwise
+
+    elementwise = _elementwise(step.values)
+    return lambda: step.map.reset_values(elementwise)
+
+
+def compile_plan(executor, plan: Plan) -> CompiledPlan:
+    """Lower one plan for one executor binding into a :class:`CompiledPlan`."""
+    fuse = fusion_enabled(executor)
+    entries: list[tuple] = []
+    steps = list(plan.steps)
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        if isinstance(step, OperatorStep):
+            group = [step.operator]
+            end = index + 1
+            if fuse and _fusable(step.operator):
+                while (
+                    end < len(steps)
+                    and isinstance(steps[end], OperatorStep)
+                    and _fusable(steps[end].operator)
+                    and _rw_compatible(group, steps[end].operator)
+                ):
+                    group.append(steps[end].operator)
+                    end += 1
+            compiled = [_compile_operator(executor, op) for op in group]
+            if len(compiled) > 1:
+                entries.append((ENTRY_FUSED, FusedGroup(compiled)))
+            else:
+                entries.append((ENTRY_OPERATOR, compiled[0]))
+            index = end
+            continue
+        if isinstance(step, SyncStep):
+            entries.append((ENTRY_SYNC, step))
+        elif isinstance(step, ResetStep):
+            entries.append((ENTRY_EXEC, _compile_reset(executor, step)))
+        elif isinstance(step, HostStep):
+            entries.append((ENTRY_EXEC, step.fn))
+        else:  # pragma: no cover - the step union is closed
+            raise TypeError(f"unknown plan step {step!r}")
+        index += 1
+    return CompiledPlan(plan, entries)
+
+
+__all__ = [
+    "ENTRY_OPERATOR",
+    "ENTRY_FUSED",
+    "ENTRY_SYNC",
+    "ENTRY_EXEC",
+    "CompiledOperator",
+    "CompiledPlan",
+    "FusedGroup",
+    "SpecializedDegreeReduce",
+    "SpecializedEdgePush",
+    "SpecializedNodeUpdate",
+    "compile_plan",
+    "fusion_enabled",
+    "run_hosted",
+]

@@ -27,6 +27,18 @@ not just PageRank's tolerance loop - gets checkpoint/recovery when a
 fault injector is installed, and round/operator trace attribution for
 free. Without an injector the driver is exactly the legacy loop (zero
 overhead).
+
+Each ``run`` executes through a compiled form of the plan
+(:mod:`repro.exec.codegen`): the per-step backend dispatch - scalar vs
+bulk driver, kernel-closure construction, reset binding - is decided
+once per ``(plan, executor)`` binding and cached, and the per-round loop
+replays a flat list of prebound entries instead of re-walking the step
+list with ``isinstance`` checks. On the bulk backend, ``codegen=True``
+(the default for ``bulk=True``) additionally specializes statically
+analyzable kernels into preassembled numpy runners and fuses adjacent
+compatible compute phases; ``codegen=False`` pins the interpreted bulk
+bodies, which is the honest baseline the codegen benchmarks compare
+against.
 """
 
 from __future__ import annotations
@@ -38,17 +50,20 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import SUM
+from repro.exec.codegen import (
+    ENTRY_FUSED,
+    ENTRY_OPERATOR,
+    ENTRY_SYNC,
+    CompiledOperator,
+    CompiledPlan,
+    compile_plan,
+    fusion_enabled,
+)
 from repro.exec.plan import (
     DegreeReduce,
     EdgePush,
-    HostStep,
     NodeUpdate,
-    Operator,
-    OperatorStep,
     Plan,
-    ResetStep,
-    ScalarKernel,
-    SyncStep,
 )
 from repro.exec.pool import HEALABLE_ERRORS, HostShardPool, create_pool
 from repro.faults.recovery import run_recoverable_loop
@@ -56,8 +71,6 @@ from repro.runtime.engine import (
     BulkOperatorContext,
     NonQuiescenceError,
     OperatorContext,
-    par_for,
-    par_for_bulk,
 )
 
 
@@ -91,9 +104,20 @@ class Executor:
         jobs: int = 1,
         recovery: str = "fail-fast",
         chaos: Any | None = None,
+        codegen: bool | None = None,
     ) -> None:
         self.cluster = cluster
         self.bulk = bool(bulk)
+        # Plan-to-kernel code generation (repro.exec.codegen): None means
+        # "on wherever it can apply", i.e. with the bulk backend (the
+        # scalar backend is the reference oracle and never specializes).
+        # codegen=False pins the interpreted bulk kernel bodies - the
+        # baseline the codegen speedup benchmarks measure against.
+        self.codegen = self.bulk if codegen is None else bool(codegen)
+        # Compiled plans, keyed by plan id and revalidated against the
+        # plan object and the fusion gate (a fault injector installed
+        # between runs must recompile fusion away).
+        self._compiled_plans: dict[int, tuple[Plan, bool, CompiledPlan]] = {}
         self.observer = observer
         # jobs > 1 fans shardable compute phases out to jobs processes
         # (coordinator included); merge order keeps results byte-identical.
@@ -276,23 +300,42 @@ class Executor:
         finally:
             pool._guard_depth = 0
 
-    def run_round(self, plan: Plan) -> None:
-        """One pass over the plan's steps (one BSP round).
+    def compiled(self, plan: Plan) -> CompiledPlan:
+        """The cached compiled form of ``plan`` for this binding.
 
-        Any non-operator step is a sync boundary for the parallel pool:
+        Recompiles when the cache slot holds a different plan object
+        (id reuse after GC) or when the fusion gate flipped since the
+        plan was compiled (e.g. ``install_faults`` between runs).
+        """
+        fuse = fusion_enabled(self)
+        key = id(plan)
+        cached = self._compiled_plans.get(key)
+        if cached is not None and cached[0] is plan and cached[1] == fuse:
+            return cached[2]
+        compiled = compile_plan(self, plan)
+        self._compiled_plans[key] = (plan, fuse, compiled)
+        return compiled
+
+    def run_round(self, plan: Plan) -> None:
+        """One pass over the plan's compiled entries (one BSP round).
+
+        Any non-compute entry is a sync boundary for the parallel pool:
         deferred sharded-phase effects must be exchanged before a sync
         collective, reset, or host step reads them, and again at the end
         of the round (quiescence flags, checkpoints, and between-round
         callbacks read the merged state).
         """
         pool = self._pool
-        for step in plan.steps:
-            if isinstance(step, OperatorStep):
-                self._run_operator(plan.pgraph, step.operator)
+        for tag, payload in self.compiled(plan).entries:
+            if tag == ENTRY_OPERATOR:
+                self._run_compiled_operator(plan.pgraph, payload)
+                continue
+            if tag == ENTRY_FUSED:
+                payload.run(self, plan.pgraph)
                 continue
             if pool is not None and pool.active:
                 pool.flush()
-            if isinstance(step, SyncStep):
+            if tag == ENTRY_SYNC:
                 # The sync collectives themselves shard across the pool
                 # (owner-host dealing; see NodePropMap._sgr_reduce_sharded
                 # and _broadcast_sharded) - without this the replicated
@@ -303,60 +346,27 @@ class Executor:
                 sync_pool = (
                     pool if pool is not None and pool.active and pool.defer else None
                 )
-                if step.action == "request":
-                    step.map.request_sync()
-                elif step.action == "reduce":
-                    step.map.reduce_sync(pool=sync_pool)
+                if payload.action == "request":
+                    payload.map.request_sync()
+                elif payload.action == "reduce":
+                    payload.map.reduce_sync(pool=sync_pool)
                 else:
-                    step.map.broadcast_sync(pool=sync_pool)
-            elif isinstance(step, ResetStep):
-                if step.elementwise:
-                    step.map.reset_values(step.values)
-                elif self.bulk:
-                    step.map.reset_values_bulk(
-                        lambda nodes, values=step.values: np.asarray(values(nodes))
-                    )
-                else:
-                    step.map.reset_values(_elementwise(step.values))
-            elif isinstance(step, HostStep):
-                step.fn()
-            else:  # pragma: no cover - the step union is closed
-                raise TypeError(f"unknown plan step {step!r}")
+                    payload.map.broadcast_sync(pool=sync_pool)
+            else:  # ENTRY_EXEC: a prebound reset or host callable
+                payload()
         if pool is not None and pool.active:
             pool.flush()
 
     # --------------------------------------------------- kernel dispatch
 
-    def _run_operator(self, pgraph, operator: Operator) -> None:
-        kernel = operator.kernel
-        if isinstance(kernel, ScalarKernel):
-            # Reference-loop semantics on both backends (see module doc).
-            body = kernel.body
-        elif isinstance(kernel, EdgePush):
-            body = (
-                self._edge_push_bulk(kernel)
-                if self.bulk
-                else self._edge_push_scalar(kernel)
-            )
-        elif isinstance(kernel, NodeUpdate):
-            body = (
-                self._node_update_bulk(kernel)
-                if self.bulk
-                else self._node_update_scalar(kernel)
-            )
-        elif isinstance(kernel, DegreeReduce):
-            body = (
-                self._degree_reduce_bulk(kernel)
-                if self.bulk
-                else self._degree_reduce_scalar(kernel)
-            )
-        else:  # pragma: no cover - the kernel union is closed
-            raise TypeError(f"unknown kernel form {kernel!r}")
-        driver = par_for_bulk if self.bulk and not isinstance(kernel, ScalarKernel) else par_for
+    def _run_compiled_operator(self, pgraph, compiled: CompiledOperator) -> None:
+        operator = compiled.operator
         pool = self._pool
         if pool is not None and pool.active:
             if pool.shardable(operator):
-                pool.run_sharded(self.cluster, driver, pgraph, operator, body)
+                pool.run_sharded(
+                    self.cluster, compiled.driver, pgraph, operator, compiled.body
+                )
                 return
             # A replicated phase reads whatever state the sharded phases
             # before it produced (request dedup against foreign bitsets,
@@ -365,11 +375,11 @@ class Executor:
         # Serial run, or a phase the plan metadata cannot prove shardable:
         # every process executes every host (replicated - state stays
         # identical across the group with no exchange).
-        driver(
+        compiled.driver(
             self.cluster,
             pgraph,
             operator.space,
-            body,
+            compiled.body,
             kind=operator.kind,
             label=operator.label,
         )

@@ -633,6 +633,28 @@ class HostShardPool:
                 table[id(step.operator)] = _phase_carriers(
                     step.operator, by_name, ops
                 )
+        # The key-value-store (RuntimeVariant.MC) invariant: kv-backed
+        # phases and their sync collectives run REPLICATED on every
+        # process, never sharded. KvCas reductions apply immediately
+        # against shared server shards - conflict draws and the kv
+        # network accounting depend on the global operation order, which
+        # host-sharding would change - and MC's reduce_sync refetches
+        # every property through the kv servers (mutating shared server
+        # state), while its broadcast_sync is a structural no-op (no GAR
+        # mirrors to push). So there is no broadcast side to shard, and
+        # the reduce side must stay serial for byte-identity: replicated
+        # replay IS the correctness strategy, enforced here so a future
+        # carrier-table change cannot silently shard a kv phase.
+        for carriers in table.values():
+            if carriers is None:
+                continue
+            for carrier in carriers:
+                variant = getattr(carrier, "variant", None)
+                if variant is not None and variant.uses_kvstore:
+                    raise AssertionError(
+                        f"kvstore-backed map {carrier.name!r} in a "
+                        "shardable phase: MC collectives must stay serial"
+                    )
         self._tables[key] = table
 
     def has_shardable_phase(self, plan: Plan | None = None) -> bool:
@@ -904,6 +926,23 @@ class HostShardPool:
         carriers = self._tables[self._plan_key][id(operator)]
         self._pending.append((carriers, cluster.log.phases[-1]))
         if not self.defer:
+            self.flush()
+
+    def defer_fused(self, operators: Sequence[Operator], records) -> None:
+        """Queue a fused compute group's effects (repro.exec.codegen):
+        one ``(carriers, record)`` pair per constituent, in step order -
+        exactly the pending entries the same phases would have appended
+        through :meth:`run_sharded` individually, so the exchange bundle
+        layout (and therefore the merged run) is unchanged by fusion.
+
+        Fusion is compiled out under fault injection (where ``defer`` is
+        False), so the deferred path is the only one a fused group takes;
+        the flush fallback keeps the invariant anyway.
+        """
+        table = self._tables[self._plan_key]
+        for operator, record in zip(operators, records):
+            self._pending.append((table[id(operator)], record))
+        if not self.defer:  # pragma: no cover - fusion implies defer
             self.flush()
 
     def flush(self) -> None:

@@ -32,6 +32,18 @@ def _event_name(s: TimelineSlice) -> str:
 
 def _slice_event(s: TimelineSlice) -> dict[str, Any]:
     counters = {k: v for k, v in s.counters.as_dict().items() if v}
+    args: dict[str, Any] = {
+        "round": s.round,
+        "operator": s.operator,
+        "kind": s.kind.value,
+        "busy_s": s.busy,
+        "wait_s": s.duration - s.busy,
+        "counters": counters,
+    }
+    if s.fused is not None:
+        # The phase ran inside a generated fused kernel: name the
+        # constituent steps so profiles stay interpretable after fusion.
+        args["fused"] = list(s.fused)
     return {
         "name": _event_name(s),
         "cat": "sync" if s.kind.is_sync else "compute",
@@ -40,14 +52,7 @@ def _slice_event(s: TimelineSlice) -> dict[str, Any]:
         "dur": s.duration * _US,
         "pid": TRACE_PID,
         "tid": s.host,
-        "args": {
-            "round": s.round,
-            "operator": s.operator,
-            "kind": s.kind.value,
-            "busy_s": s.busy,
-            "wait_s": s.duration - s.busy,
-            "counters": counters,
-        },
+        "args": args,
     }
 
 

@@ -1,0 +1,331 @@
+"""The plan-to-kernel codegen stage's equivalence contract.
+
+``repro.exec.codegen`` lowers a plan into prebound specialized kernels
+and fuses adjacent compatible compute phases into single generated
+kernels. The contract is the same byte-identity the bulk path already
+promises: ``RunResult.to_dict()`` (counters, conflicts, modeled seconds,
+trace rows) and final values of the generated path must match the
+interpreted bulk path exactly - including under ``jobs=N`` sharding and
+fault plans (where fusion is disabled but specialization must still
+agree). These tests enforce the contract across all registered apps and
+random graphs, pin down the fusion boundary rules on synthetic plans,
+and check the prepared-fold fast path against the generic reduction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core.propmap import NodePropMap
+from repro.core.reducers import MIN, SUM
+from repro.core.reduction import ThreadLocalReduction
+from repro.core.variants import RuntimeVariant
+from repro.eval.harness import APP_WEIGHTED, KIMBAP_APPS, run_kimbap
+from repro.exec import Executor, Operator, OperatorStep, Plan, SyncStep
+from repro.exec.codegen import ENTRY_FUSED, ENTRY_OPERATOR, fusion_enabled
+from repro.exec.plan import EdgePush, NodeUpdate
+from repro.faults import FaultPlan, HostCrash, install_faults
+from repro.graph import generators
+from repro.partition import partition
+
+APPS = tuple(sorted(KIMBAP_APPS))
+
+
+def app_weighted(app: str) -> bool:
+    return APP_WEIGHTED.get(app, False)
+
+
+def random_graph(seed: int, weighted: bool = False):
+    kind = seed % 3
+    if kind == 0:
+        return generators.erdos_renyi(40, 3.0, seed=seed, weighted=weighted)
+    if kind == 1:
+        return generators.road_like(6, 5, seed=seed, weighted=weighted)
+    return generators.rmat(5, 4, seed=seed, weighted=weighted)
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def assert_codegen_identical(app, graph, hosts, threads=4, **kwargs):
+    interpreted = run_kimbap(
+        app, "equiv", hosts, graph=graph, threads=threads, bulk=True,
+        codegen=False, **kwargs,
+    )
+    generated = run_kimbap(
+        app, "equiv", hosts, graph=graph, threads=threads, bulk=True,
+        codegen=True, **kwargs,
+    )
+    assert canonical(interpreted) == canonical(generated), (
+        f"{app} hosts={hosts} {kwargs}: generated kernels diverged from "
+        "the interpreted bulk path"
+    )
+    assert interpreted.values == generated.values
+
+
+class TestCodegenByteIdentity:
+    """Generated kernels vs interpreted bulk, whole-run byte-identity."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_all_apps(self, app):
+        graph = generators.powerlaw_like(scale=6, seed=3, weighted=app_weighted(app))
+        assert_codegen_identical(app, graph, hosts=3)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=60),
+        hosts=st.sampled_from([1, 2, 4]),
+        app=st.sampled_from(APPS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed, hosts, app):
+        graph = random_graph(seed, weighted=app_weighted(app))
+        assert_codegen_identical(app, graph, hosts=hosts, threads=2)
+
+
+class TestCodegenComposes:
+    """Codegen x host-parallel sharding x fault plans x runtime variants."""
+
+    @pytest.mark.parametrize("app", ("PR", "CC-LP"))
+    def test_jobs_sharding(self, app):
+        graph = generators.powerlaw_like(scale=6, seed=3)
+        assert_codegen_identical(app, graph, hosts=4, jobs=2)
+
+    def test_mc_variant_stays_identical_under_jobs(self):
+        # The kvstore-backed MC variant keeps its sync collectives serial
+        # (the pool.register_plan invariant); codegen must not disturb it.
+        graph = generators.powerlaw_like(scale=6, seed=3)
+        assert_codegen_identical(
+            "CC-LP", graph, hosts=3, jobs=2, variant=RuntimeVariant.MC
+        )
+
+    @pytest.mark.parametrize("app", ("BFS", "PR"))
+    def test_fault_plan_disables_fusion_still_identical(self, app):
+        graph = generators.road_like(6, 5, seed=11, weighted=app_weighted(app))
+        plan = FaultPlan(
+            name="crash@2",
+            checkpoint_interval=2,
+            crashes=(HostCrash(host=1, round=2),),
+        )
+        faulted = run_kimbap(
+            app, "equiv", 3, graph=graph, threads=4, bulk=True,
+            fault_plan=plan,
+        )
+        assert faulted.outcome == "ok"
+        assert faulted.faults["recoveries"] == 1
+        assert_codegen_identical(app, graph, hosts=3, fault_plan=plan)
+
+
+# ------------------------------------------------------ fusion boundaries
+
+
+def _two_updates(cluster, pgraph, second_reads=()):
+    a = NodePropMap(cluster, pgraph, "a")
+    b = NodePropMap(cluster, pgraph, "b")
+    steps = [
+        OperatorStep(
+            Operator(
+                "fill_a", "masters",
+                NodeUpdate(a, SUM, value=lambda nodes: nodes * 0.5),
+            )
+        ),
+        OperatorStep(
+            Operator(
+                "fill_b", "masters",
+                NodeUpdate(
+                    b, MIN,
+                    value=lambda nodes: nodes + 1.0,
+                    read_names=second_reads,
+                ),
+            )
+        ),
+        SyncStep(a, "reduce"),
+        SyncStep(b, "reduce"),
+    ]
+    plan = Plan(name="fusiontest", pgraph=pgraph, steps=steps, once=True)
+    return plan, a, b
+
+
+def _run_once(graph, codegen, second_reads=()):
+    cluster = Cluster(2, threads_per_host=2)
+    pgraph = partition(graph, 2, "cvc")
+    executor = Executor(cluster, bulk=True, codegen=codegen)
+    plan, a, b = _two_updates(cluster, pgraph, second_reads=second_reads)
+    executor.init_map(a, lambda nodes: np.zeros(nodes.size))
+    executor.init_map(b, lambda nodes: np.zeros(nodes.size))
+    executor.run(plan)
+    log = [
+        (
+            record.kind.value,
+            record.label,
+            record.operator,
+            record.round,
+            [counters.as_dict() for counters in record.counters],
+        )
+        for record in cluster.log.phases
+    ]
+    return cluster, a.snapshot(), b.snapshot(), log
+
+
+class TestFusionBoundaries:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generators.powerlaw_like(scale=5, seed=3)
+
+    def _compiled_tags(self, graph, bulk=True, codegen=None, faults=None,
+                       second_reads=()):
+        cluster = Cluster(2, threads_per_host=2)
+        if faults is not None:
+            install_faults(cluster, faults)
+        pgraph = partition(graph, 2, "cvc")
+        executor = Executor(cluster, bulk=bulk, codegen=codegen)
+        plan, _, _ = _two_updates(cluster, pgraph, second_reads=second_reads)
+        compiled = executor.compiled(plan)
+        return compiled, [entry[0] for entry in compiled.entries]
+
+    def test_adjacent_specializable_steps_fuse(self, graph):
+        compiled, tags = self._compiled_tags(graph)
+        assert tags.count(ENTRY_FUSED) == 1
+        (group,) = compiled.fused_groups
+        assert group.labels == ("fill_a", "fill_b")
+
+    def test_read_after_write_hazard_blocks_fusion(self, graph):
+        # fill_b declaring a read of map "a" (written by fill_a) must keep
+        # the steps as two separate phases.
+        _, tags = self._compiled_tags(graph, second_reads=("a",))
+        assert ENTRY_FUSED not in tags
+        assert tags.count(ENTRY_OPERATOR) == 2
+
+    def test_fault_injector_disables_fusion(self, graph):
+        _, tags = self._compiled_tags(
+            graph, faults=FaultPlan(name="noop", checkpoint_interval=0)
+        )
+        assert ENTRY_FUSED not in tags
+        assert tags.count(ENTRY_OPERATOR) == 2
+
+    def test_scalar_backend_never_fuses(self, graph):
+        cluster = Cluster(2, threads_per_host=2)
+        executor = Executor(cluster, bulk=False)
+        assert not fusion_enabled(executor)
+        _, tags = self._compiled_tags(graph, bulk=False)
+        assert ENTRY_FUSED not in tags
+
+    def test_unspecializable_push_breaks_the_group(self, graph):
+        # An EdgePush with require_active keeps its interpreted body and
+        # must not join a fused group.
+        cluster = Cluster(2, threads_per_host=2)
+        pgraph = partition(graph, 2, "cvc")
+        executor = Executor(cluster, bulk=True)
+        label = NodePropMap(cluster, pgraph, "label")
+        active = NodePropMap(cluster, pgraph, "active")
+        out = NodePropMap(cluster, pgraph, "out")
+        steps = [
+            OperatorStep(
+                Operator(
+                    "push", "all",
+                    EdgePush(target=out, op=MIN, source=label,
+                             require_active=active),
+                )
+            ),
+            OperatorStep(
+                Operator(
+                    "fill", "masters",
+                    NodeUpdate(out, MIN, value=lambda nodes: nodes + 0.0),
+                )
+            ),
+        ]
+        plan = Plan(name="mixed", pgraph=pgraph, steps=steps, once=True)
+        compiled = executor.compiled(plan)
+        tags = [entry[0] for entry in compiled.entries]
+        assert ENTRY_FUSED not in tags
+        assert tags.count(ENTRY_OPERATOR) == 2
+
+    def test_fused_run_matches_interpreted_and_stamps_records(self, graph):
+        _, a_cg, b_cg, log_cg = _run_once(graph, codegen=None)
+        cluster, a_in, b_in, log_in = _run_once(graph, codegen=False)
+        assert a_cg == a_in
+        assert b_cg == b_in
+        assert log_cg == log_in
+        # Attribution: the fused constituents carry the group's labels on
+        # their records under codegen, and None when interpreted.
+        cg_cluster = _run_once(graph, codegen=None)[0]
+        fused = [
+            record.fused
+            for record in cg_cluster.log.phases
+            if record.label in ("fill_a", "fill_b")
+        ]
+        assert fused == [("fill_a", "fill_b"), ("fill_a", "fill_b")]
+        interpreted = [
+            record.fused
+            for record in cluster.log.phases
+            if record.label in ("fill_a", "fill_b")
+        ]
+        assert interpreted == [None, None]
+
+
+# -------------------------------------------------------- prepared folds
+
+
+class TestPreparedFold:
+    def _batch(self, seed):
+        rng = np.random.default_rng(seed)
+        count = 64
+        threads = np.sort(rng.integers(0, 4, size=count))
+        keys = rng.integers(0, 10, size=count)
+        values = rng.standard_normal(count)
+        return threads, keys, values
+
+    @pytest.mark.parametrize("op", (SUM, MIN), ids=lambda o: o.name)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_prepared_matches_generic_fold(self, op, seed):
+        threads, keys, values = self._batch(seed)
+        cluster = Cluster(1, threads_per_host=4)
+        generic = ThreadLocalReduction(cluster, 0)
+        prepared_red = ThreadLocalReduction(cluster, 0)
+        plan = prepared_red.prepare_bulk(threads, keys)
+        from repro.cluster.metrics import PhaseKind
+
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            generic.reduce_bulk(threads, keys, values, op)
+            prepared_red.reduce_bulk_prepared(plan, values, op)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            assert generic.collect(op) == prepared_red.collect(op)
+
+    def test_prepared_falls_back_on_pending_scalar_state(self):
+        threads, keys, values = self._batch(7)
+        cluster = Cluster(1, threads_per_host=4)
+        generic = ThreadLocalReduction(cluster, 0)
+        prepared_red = ThreadLocalReduction(cluster, 0)
+        plan = prepared_red.prepare_bulk(threads, keys)
+        from repro.cluster.metrics import PhaseKind
+
+        with cluster.phase(PhaseKind.REDUCE_COMPUTE):
+            # A scalar reduce before the batch: the prepared path must
+            # take the generic fallback to fold in the right order.
+            generic.reduce(0, int(keys[0]), 100.0, SUM)
+            generic.reduce_bulk(threads, keys, values, SUM)
+            prepared_red.reduce(0, int(keys[0]), 100.0, SUM)
+            prepared_red.reduce_bulk_prepared(plan, values, SUM)
+        with cluster.phase(PhaseKind.REDUCE_SYNC):
+            assert generic.collect(SUM) == prepared_red.collect(SUM)
+
+    def test_empty_batch_prepares_to_none(self):
+        cluster = Cluster(1, threads_per_host=2)
+        reduction = ThreadLocalReduction(cluster, 0)
+        empty = np.array([], dtype=np.int64)
+        assert reduction.prepare_bulk(empty, empty) is None
+
+    def test_prepared_arrays_are_frozen(self):
+        threads, keys, _ = self._batch(3)
+        cluster = Cluster(1, threads_per_host=4)
+        plan = ThreadLocalReduction(cluster, 0).prepare_bulk(threads, keys)
+        for name in ("uniq", "first_idx", "rest", "inverse_rest", "last"):
+            array = getattr(plan, name)
+            with pytest.raises(ValueError):
+                array[...] = 0
