@@ -18,7 +18,15 @@ from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
-from repro.exec import EdgePush, Executor, Operator, OperatorStep, Plan, SyncStep
+from repro.exec import (
+    EdgePush,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResidualDecl,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
 
 
@@ -44,6 +52,11 @@ def cc_lp_plan(pgraph: PartitionedGraph, label: NodePropMap) -> Plan:
                         source=label,
                         require_active=label,
                         charge_per_source=1,
+                        # Async eligibility: labels improve monotonically
+                        # under MIN (the classic asynchronous-safe program),
+                        # so the priority/delta engine propagates the
+                        # smallest labels first with no global barrier.
+                        residual=ResidualDecl(mode="monotone"),
                     ),
                 )
             ),

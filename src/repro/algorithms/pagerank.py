@@ -38,6 +38,7 @@ from repro.exec import (
     OperatorStep,
     Plan,
     ResetStep,
+    ResidualDecl,
     SyncStep,
 )
 from repro.partition.base import PartitionedGraph
@@ -118,6 +119,24 @@ def pagerank(
                         charge_per_source=2,
                         transform=lambda values, nodes: (
                             damping * values / degrees[nodes]
+                        ),
+                        # Async eligibility: delta-PageRank mass propagation.
+                        # Each node holds a residual of un-pushed mass
+                        # (initially the teleport share); processing folds it
+                        # into the rank and pushes transform(residual, node)
+                        # along the out-edges, with dangling mass pooled and
+                        # flushed uniformly - the same fixed point as the
+                        # power iteration, reached highest-residual-first.
+                        residual=ResidualDecl(
+                            mode="accumulate",
+                            tolerance=tolerance,
+                            value=rank,
+                            dangling="uniform",
+                            dangling_scale=damping,
+                            init_value=lambda nodes: np.zeros(nodes.size),
+                            init_residual=lambda nodes: np.full(
+                                nodes.size, base
+                            ),
                         ),
                     ),
                 )

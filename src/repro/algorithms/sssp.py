@@ -20,7 +20,15 @@ from repro.cluster.cluster import Cluster
 from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
-from repro.exec import EdgePush, Executor, Operator, OperatorStep, Plan, SyncStep
+from repro.exec import (
+    EdgePush,
+    Executor,
+    Operator,
+    OperatorStep,
+    Plan,
+    ResidualDecl,
+    SyncStep,
+)
 from repro.partition.base import PartitionedGraph
 
 UNREACHED = math.inf
@@ -47,6 +55,11 @@ def sssp_plan(
                         value_filter=lambda values: values != UNREACHED,
                         with_weight="add",
                         unit_weights=unit_weights,
+                        # Async eligibility: distances improve monotonically
+                        # under MIN, so label-correcting relaxation with a
+                        # largest-improvement-first queue reaches the same
+                        # shortest paths without round barriers.
+                        residual=ResidualDecl(mode="monotone"),
                     ),
                 )
             ),

@@ -28,13 +28,20 @@ import numpy as np
 from repro.algorithms.common import AlgorithmResult
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import PhaseKind
+from repro.faults.recovery import run_recoverable_loop
 from repro.partition.base import PartitionedGraph
 
 UPDATE_BYTES = 16  # key + value, one per message
 
 
 def async_cc_lp(cluster: Cluster, pgraph: PartitionedGraph) -> AlgorithmResult:
-    """Asynchronous label propagation with eager per-update messaging."""
+    """Asynchronous label propagation with eager per-update messaging.
+
+    The sweep loop rides on the shared :func:`run_recoverable_loop`
+    skeleton (the same driver the engine layer uses) rather than a private
+    ``while changed`` loop; ``advance_rounds=False`` keeps the emitted
+    phases byte-identical to the historical baseline.
+    """
     graph = pgraph.graph
     # canonical labels at owners; each host also has a local cache of every
     # proxy it hosts
@@ -43,9 +50,9 @@ def async_cc_lp(cluster: Cluster, pgraph: PartitionedGraph) -> AlgorithmResult:
         {int(g): int(g) for g in part.local_to_global} for part in pgraph.parts
     ]
     owner = pgraph.owner
-    sweeps = 0
-    changed = True
-    while changed:
+    state = {"changed": True}
+
+    def sweep() -> None:
         changed = False
         with cluster.phase(PhaseKind.REDUCE_COMPUTE, label="async_lp"):
             for part in pgraph.parts:
@@ -86,6 +93,14 @@ def async_cc_lp(cluster: Cluster, pgraph: PartitionedGraph) -> AlgorithmResult:
                                         mirror_part.host_id
                                     ).materialize_ops += 1
                         cache[dst] = min(cache[dst], node_label)
-        sweeps += 1
+        state["changed"] = changed
+
+    sweeps = run_recoverable_loop(
+        cluster,
+        [],
+        sweep,
+        converged=lambda: not state["changed"],
+        advance_rounds=False,
+    )
     values = {node: int(labels[node]) for node in range(graph.num_nodes)}
     return AlgorithmResult(name="Async-LP", values=values, rounds=sweeps)

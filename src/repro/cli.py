@@ -5,6 +5,8 @@ Examples::
     python -m repro stats                          # Table 1 analog stats
     python -m repro run CC-SV --graph road --hosts 4
     python -m repro run PR --graph powerlaw --bulk --jobs 4   # same bytes, more cores
+    python -m repro run PR --graph road --engine async        # priority/delta engine
+    python -m repro engines CC-LP --graph powerlaw --hosts 4  # async vs BSP oracle
     python -m repro run LV --graph powerlaw --hosts 8 --variant mc
     python -m repro variants CC-SV --graph powerlaw --hosts 4
     python -m repro compare-lv --graph road --hosts 4   # Kimbap vs Vite
@@ -27,7 +29,14 @@ from repro.core.variants import RuntimeVariant
 from repro.eval.harness import APP_POLICY, KIMBAP_APPS, run_galois, run_kimbap, run_vite
 from repro.eval.reporting import format_phase_breakdown, format_table
 from repro.eval.workloads import GRAPHS, load_graph
-from repro.exec import PLAN_SCHEMA, Executor, format_plan_summary, plan_summary
+from repro.exec import (
+    ENGINES,
+    PLAN_SCHEMA,
+    Executor,
+    UnsupportedPlanError,
+    format_plan_summary,
+    plan_summary,
+)
 from repro.faults import CHAOS_KINDS, NAMED_PLANS, ChaosEvent, ChaosPlan, named_plan
 from repro.graph import generators
 from repro.graph.stats import compute_stats
@@ -69,9 +78,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         bulk=args.bulk,
         jobs=args.jobs,
         codegen=False if args.no_codegen else None,
+        engine=args.engine,
     )
     print(_result_rows([result]))
     print(f"rounds: {result.rounds}")
+    if getattr(result, "async_stats", None):
+        stats = result.async_stats
+        print(f"async chunks: {stats['chunks']}, updates: {stats['updates']}")
     for key, value in sorted(result.stats.items()):
         print(f"{key}: {value}")
     print(f"messages: {result.messages}, bytes: {result.bytes}")
@@ -93,6 +106,7 @@ def cmd_variants(args: argparse.Namespace) -> int:
             bulk=args.bulk,
             jobs=args.jobs,
             codegen=False if args.no_codegen else None,
+            engine=args.engine,
         )
         for variant in (
             RuntimeVariant.MC,
@@ -114,6 +128,7 @@ def cmd_compare_lv(args: argparse.Namespace) -> int:
         bulk=args.bulk,
         jobs=args.jobs,
         codegen=False if args.no_codegen else None,
+        engine=args.engine,
     )
     vite = run_vite(args.graph, args.hosts, threads=args.threads)
     galois = run_galois("LV", args.graph, threads=args.threads)
@@ -137,6 +152,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         bulk=args.bulk,
         jobs=args.jobs,
         codegen=False if args.no_codegen else None,
+        engine=args.engine,
     )
     timeline = result.timeline()
     write_chrome_trace(args.out, timeline)
@@ -165,6 +181,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         bulk=args.bulk,
         jobs=args.jobs,
         codegen=False if args.no_codegen else None,
+        engine=args.engine,
     )
     cluster = result.cluster
     costs = top_phases(cluster.log, cluster.cost_model, result.threads, k=args.top)
@@ -201,6 +218,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     variant = VARIANTS_BY_LABEL[args.variant]
+    if args.engine != "bsp":
+        print("faults requires --engine bsp (the async engine refuses fault plans)")
+        return 1
     plan = named_plan(
         args.plan,
         seed=args.seed,
@@ -290,6 +310,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     recovery failed, or any byte diverged.
     """
     variant = VARIANTS_BY_LABEL[args.variant]
+    if args.engine != "bsp":
+        print("chaos requires --engine bsp (the async engine runs at jobs=1 only)")
+        return 1
     if args.jobs < 2:
         print("chaos needs --jobs >= 2 (there is no worker to kill at jobs=1)")
         return 1
@@ -367,6 +390,60 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+# Value-equivalence tolerance for `repro engines` (absolute, per node).
+# CC-LP and SSSP converge to the exact same fixed point under any schedule;
+# delta-PageRank accumulates in a different order, so ranks agree only to
+# the residual tolerance the plan declares.
+ENGINE_APP_TOLERANCE = {"PR": 1e-6, "SSSP": 1e-9}
+
+
+def cmd_engines(args: argparse.Namespace) -> int:
+    """Run BSP and async on the same workload and check value equivalence.
+
+    The BSP run is the oracle; the async run must land on the same per-node
+    values (within the per-app tolerance). Prints both modeled times plus
+    the async engine's chunk/update counts, and exits 1 on divergence or
+    when the app has no async-eligible kernel - this is the CI engine-smoke
+    entry point.
+    """
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else ENGINE_APP_TOLERANCE.get(args.app, 0.0)
+    )
+    bsp = run_kimbap(
+        args.app, args.graph, args.hosts, threads=args.threads, engine="bsp"
+    )
+    try:
+        asynchronous = run_kimbap(
+            args.app, args.graph, args.hosts, threads=args.threads, engine="async"
+        )
+    except UnsupportedPlanError as error:
+        print(f"async engine cannot run {args.app}: {error}")
+        return 1
+    print(_result_rows([bsp, asynchronous]))
+    stats = getattr(asynchronous, "async_stats", None) or {}
+    print(
+        f"bsp rounds: {bsp.rounds}  async chunks: {stats.get('chunks', '?')}  "
+        f"async updates: {stats.get('updates', '?')}"
+    )
+    if asynchronous.total:
+        print(f"modeled speedup (async over bsp): {bsp.total / asynchronous.total:.2f}x")
+    if bsp.values is None or asynchronous.values is None:
+        print("ENGINE EQUIVALENCE FAILED: a run produced no values")
+        return 1
+    try:
+        check_equivalent_values(bsp.values, asynchronous.values, tolerance)
+    except VerificationError as error:
+        print(f"ENGINE EQUIVALENCE FAILED: {error}")
+        return 1
+    print(
+        f"equivalence: async values match the BSP oracle within {tolerance} "
+        f"({len(bsp.values)} nodes)"
+    )
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     """Print the operator plan(s) one application executes.
 
@@ -434,6 +511,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable plan-to-kernel code generation on the bulk "
             "backend (interpreted kernel bodies; byte-identical)",
+        )
+        sub_parser.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default="bsp",
+            help="execution engine: 'bsp' (round-synchronous, the default) "
+            "or 'async' (priority/delta, value-equivalent, jobs=1 only)",
         )
 
     run = sub.add_parser("run", help="run one application on the simulated cluster")
@@ -550,10 +634,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(fn=cmd_chaos)
 
+    engines = sub.add_parser(
+        "engines",
+        help="run one application under both engines and verify the async "
+        "priority/delta result is value-equivalent to the BSP oracle",
+    )
+    engines.add_argument("app", choices=sorted(KIMBAP_APPS))
+    engines.add_argument("--graph", choices=sorted(GRAPHS), default="road")
+    engines.add_argument("--hosts", type=int, default=4)
+    engines.add_argument("--threads", type=int, default=48)
+    engines.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="absolute per-node tolerance (default: per-app, exact for "
+        "monotone apps, 1e-6 for PR)",
+    )
+    engines.set_defaults(fn=cmd_engines)
+
     plan = sub.add_parser(
         "plan",
         help="print the operator plan(s) an application executes "
-        "(text, or --json for the repro-exec-plan/v1 schema)",
+        "(text, or --json for the repro-exec-plan/v1.1 schema)",
     )
     plan.add_argument("app", choices=sorted(KIMBAP_APPS))
     plan.add_argument(

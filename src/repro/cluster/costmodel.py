@@ -129,6 +129,12 @@ class CostModel:
         ) + self.beta * max(phase.bytes_sent[host], phase.bytes_recv[host])
         if phase.kind.is_sync:
             return ModeledTime(0.0, compute + comm)
+        if phase.kind is PhaseKind.ASYNC_COMPUTE:
+            # Barrier-free execution hides eager messaging behind compute:
+            # only the communication exceeding the chunk's compute time is
+            # exposed (the "may hide communication overheads" half of the
+            # paper's Section 4.1 asynchrony trade-off).
+            return ModeledTime(compute, max(comm - compute, 0.0))
         return ModeledTime(compute, comm)
 
     def phase_time(self, phase: PhaseRecord, threads: int) -> ModeledTime:
@@ -152,6 +158,10 @@ class CostModel:
             # reductions) is part of what the paper reports as communication
             # time (its ReduceSync / RequestSync breakdown).
             return ModeledTime(0.0, compute + comm)
+        if phase.kind is PhaseKind.ASYNC_COMPUTE:
+            # No barrier: per-update messages stream while the chunk
+            # computes, so only the excess shows up as communication.
+            return ModeledTime(compute, max(comm - compute, 0.0))
         # Compute phases normally carry no traffic; the MC variant's CAS
         # loops do (computation and communication overlap in MC, which the
         # paper reports as a single "compcomm" bar).

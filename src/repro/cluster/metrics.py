@@ -29,6 +29,11 @@ class PhaseKind(enum.Enum):
     # cost reports as communication ("recovery time") in the breakdowns.
     CHECKPOINT = "checkpoint"
     RECOVERY = "recovery"
+    # Barrier-free chunk of the asynchronous engine (repro.exec.engine):
+    # compute and its eager messaging overlap, so the cost model prices
+    # communication as only the part peeking out past compute rather than
+    # adding a sync phase - there are no round barriers to charge.
+    ASYNC_COMPUTE = "async-compute"
 
     @property
     def is_sync(self) -> bool:
@@ -146,6 +151,11 @@ class PhaseRecord:
     # serialized (like ``slowdown``), so fusion cannot perturb the
     # byte-identity contract.
     fused: tuple[str, ...] | None = None
+    # Chunk ordinal within an asynchronous run (repro.exec.engine): the
+    # async engine has no rounds, so traces key attribution on the chunk
+    # instead. None for every BSP phase - never serialized, like ``fused``,
+    # so the BSP byte-identity contract is untouched.
+    chunk: int | None = None
 
     @classmethod
     def empty(

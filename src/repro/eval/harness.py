@@ -130,6 +130,9 @@ class RunResult:
     failure: dict | None = None
     faults: dict | None = None
     values: dict | None = field(default=None, repr=False, compare=False)
+    # Execution engine the run used ("bsp" | "async"). Serialized only when
+    # it is not the BSP oracle, so every existing report stays byte-identical.
+    engine: str = "bsp"
 
     @property
     def total(self) -> float:
@@ -188,6 +191,8 @@ class RunResult:
             result["failure"] = dict(self.failure) if self.failure else None
         if self.faults is not None:
             result["faults"] = self.faults
+        if self.engine != "bsp":
+            result["engine"] = self.engine
         return result
 
 
@@ -271,6 +276,7 @@ def run_kimbap(
     chaos_plan: Any | None = None,
     recovery: str = "fail-fast",
     codegen: bool | None = None,
+    engine: str = "bsp",
     **kwargs: Any,
 ) -> RunResult:
     """Run a Kimbap application on the simulated cluster.
@@ -295,6 +301,11 @@ def run_kimbap(
     and ``chaos_plan`` (a :class:`repro.faults.chaos.ChaosPlan`) delivers
     real SIGKILL/SIGTERM/OOM kills to workers at chosen sync boundaries -
     a healed run stays byte-identical to an undisturbed ``jobs=1`` run.
+
+    ``engine`` picks the drive loop (``repro.exec.engine``): ``"bsp"``
+    (default) is the byte-identity oracle; ``"async"`` schedules
+    residual-declared plans (PR, SSSP, CC-LP, BFS) barrier-free with
+    priority/delta ordering, verified by value-equivalence instead.
     """
     if graph is None:
         graph = load_graph(graph_name, weighted=APP_WEIGHTED.get(app, False))
@@ -312,6 +323,7 @@ def run_kimbap(
         recovery=recovery,
         chaos=chaos_plan,
         codegen=codegen,
+        engine=engine,
     )
     label = "Kimbap" if variant is RuntimeVariant.KIMBAP else f"Kimbap[{variant.label}]"
     try:
@@ -361,9 +373,18 @@ def run_kimbap(
         run = _finish(label, app, graph_name, hosts, cluster, result)
     if injector is not None:
         _attach_faults(run, injector, cluster)
+    run.engine = executor.engine.name
     # Side-channel instrumentation only: not a dataclass field, so it never
     # enters to_dict() and cannot perturb the byte-identity contract.
     run.parallel = parallel_stats
+    run.async_stats = (
+        {
+            "updates": executor.engine.last_updates,
+            "chunks": executor.engine.last_chunks,
+        }
+        if executor.engine.name == "async"
+        else None
+    )
     return run
 
 

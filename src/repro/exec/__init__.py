@@ -16,6 +16,14 @@ from repro.exec.codegen import (
     compile_plan,
     fusion_enabled,
 )
+from repro.exec.engine import (
+    ENGINES,
+    AsyncEngine,
+    BSPEngine,
+    Engine,
+    UnsupportedPlanError,
+    make_engine,
+)
 from repro.exec.executor import Executor
 from repro.exec.plan import (
     PLAN_SCHEMA,
@@ -27,6 +35,7 @@ from repro.exec.plan import (
     OperatorStep,
     Plan,
     ResetStep,
+    ResidualDecl,
     ScalarKernel,
     SyncStep,
     format_plan_summary,
@@ -41,7 +50,14 @@ __all__ = [
     "FusedGroup",
     "compile_plan",
     "fusion_enabled",
+    "ENGINES",
+    "AsyncEngine",
+    "BSPEngine",
+    "Engine",
+    "UnsupportedPlanError",
+    "make_engine",
     "PLAN_SCHEMA",
+    "ResidualDecl",
     "DegreeReduce",
     "EdgePush",
     "HostStep",

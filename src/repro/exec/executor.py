@@ -22,11 +22,16 @@ loop on both backends (the way the MC runtime variant degrades to the
 scalar path by design): byte-identity is structural, and such kernels
 opt into vectorization by being rewritten as one of the array forms.
 
-Loops run through ``repro.faults.run_recoverable_loop``, so every plan -
-not just PageRank's tolerance loop - gets checkpoint/recovery when a
-fault injector is installed, and round/operator trace attribution for
-free. Without an injector the driver is exactly the legacy loop (zero
-overhead).
+The drive loop itself lives in the engine layer (:mod:`repro.exec.engine`):
+``engine="bsp"`` (the default and the byte-identity oracle) runs the
+bulk-synchronous round loop through ``repro.faults.run_recoverable_loop``,
+so every plan - not just PageRank's tolerance loop - gets
+checkpoint/recovery when a fault injector is installed, and
+round/operator trace attribution for free. Without an injector the
+driver is exactly the legacy loop (zero overhead). ``engine="async"``
+schedules residual-declared plans with the barrier-free priority/delta
+scheduler instead; its results are value-equivalent (not byte-identical)
+to the BSP oracle.
 
 Each ``run`` executes through a compiled form of the plan
 (:mod:`repro.exec.codegen`): the per-step backend dispatch - scalar vs
@@ -59,17 +64,16 @@ from repro.exec.codegen import (
     compile_plan,
     fusion_enabled,
 )
+from repro.exec.engine import BSPEngine, Engine, make_engine
 from repro.exec.plan import (
     DegreeReduce,
     EdgePush,
     NodeUpdate,
     Plan,
 )
-from repro.exec.pool import HEALABLE_ERRORS, HostShardPool, create_pool
-from repro.faults.recovery import run_recoverable_loop
+from repro.exec.pool import HostShardPool, create_pool
 from repro.runtime.engine import (
     BulkOperatorContext,
-    NonQuiescenceError,
     OperatorContext,
 )
 
@@ -105,6 +109,8 @@ class Executor:
         recovery: str = "fail-fast",
         chaos: Any | None = None,
         codegen: bool | None = None,
+        engine: str | Engine = "bsp",
+        engine_options: dict[str, Any] | None = None,
     ) -> None:
         self.cluster = cluster
         self.bulk = bool(bulk)
@@ -136,6 +142,20 @@ class Executor:
         self.recovery = recovery
         self.chaos = chaos
         self._pool: HostShardPool | None = None
+        # The drive loop lives in the engine layer (repro.exec.engine);
+        # "bsp" is the byte-identity oracle, "async" the barrier-free
+        # priority/delta scheduler. Pool workers always replay the BSP
+        # loop (see _drive), so the async engine excludes jobs>1.
+        self._bsp_engine = BSPEngine(self)
+        if isinstance(engine, Engine):
+            self.engine = engine
+        else:
+            self.engine = make_engine(self, engine, **(engine_options or {}))
+        if self.engine.name != "bsp" and self.jobs > 1:
+            raise ValueError(
+                f"engine {self.engine.name!r} does not compose with jobs="
+                f"{self.jobs}; host-shard parallelism replays the BSP loop"
+            )
 
     # ------------------------------------------------------ map lifecycle
 
@@ -159,28 +179,14 @@ class Executor:
     # -------------------------------------------------------- loop driver
 
     def run(self, plan: Plan) -> int:
-        """Execute a plan; returns completed rounds (0 for ``once`` plans)."""
+        """Execute a plan; returns completed rounds (0 for ``once`` plans).
+
+        The engine owns the drive loop (round/chunk scheduling,
+        convergence, quiesce, checkpoint hooks); the executor stays the
+        kernel-dispatch surface the engine calls back into."""
         if self.observer is not None:
             self.observer(plan)
-        pool = self._ensure_pool(plan)
-        # pool.active means this is a nested run launched from a HostStep
-        # of an in-flight parallel run: it replays replicated on every
-        # process (the outer run's replay reaches this same call), so it
-        # must not re-frame the epoch protocol.
-        if pool is not None and not pool.active and pool.begin_run(plan):
-            # The worker group is persistent and warm: begin_run reuses the
-            # forked workers when they already know this plan (epoch blob
-            # resynchronizes their state), reforks when they cannot (new
-            # plan: kernels close over lambdas and only fork inheritance
-            # ships them), and end_run parks them for the next run.
-            failed = True
-            try:
-                rounds = self._drive(plan)
-                failed = False
-                return rounds
-            finally:
-                pool.end_run(failed)
-        return self._drive(plan)
+        return self.engine.run(plan)
 
     def _ensure_pool(self, plan: Plan):
         """The executor-lifetime pool (or None while parallelism cannot
@@ -216,89 +222,13 @@ class Executor:
         return None if self._pool is None else self._pool.stats()
 
     def _drive(self, plan: Plan, resume_rounds: int | None = None) -> int:
-        """The plan loop proper, replayed identically by every process of
-        a parallel run (the pool endpoint decides shard vs replicated work
-        per phase inside :meth:`_run_operator`). ``resume_rounds`` re-enters
-        an in-flight loop on a heal-time replacement worker (see
-        :meth:`HostShardPool.heal`)."""
-        if plan.once:
-            self.cluster.loop_rounds = 0
-            self._guarded_round(plan)
-            return 0
-        quiesce = tuple(plan.quiesce)
-        maps = tuple(plan.maps) if plan.maps else quiesce
-
-        def before_round() -> None:
-            for prop in quiesce:
-                prop.reset_updated()
-
-        def converged() -> bool:
-            if quiesce and not any(prop.is_updated() for prop in quiesce):
-                return True
-            if plan.converged is not None:
-                return bool(plan.converged())
-            return False
-
-        on_max_rounds = None
-        if plan.raise_on_max_rounds:
-            names = [prop.name for prop in (quiesce or maps)]
-            loop_label = plan.loop_label
-
-            def on_max_rounds(rounds: int) -> Exception:
-                return NonQuiescenceError(rounds, names, loop=loop_label)
-
-        return run_recoverable_loop(
-            self.cluster,
-            list(maps),
-            lambda: self._guarded_round(plan),
-            converged=converged,
-            before_round=before_round,
-            max_rounds=plan.max_rounds,
-            advance_rounds=plan.advance_rounds,
-            extra_snapshot=plan.extra_snapshot,
-            extra_restore=plan.extra_restore,
-            on_max_rounds=on_max_rounds,
-            resume_rounds=resume_rounds,
-        )
-
-    def _guarded_round(self, plan: Plan) -> None:
-        """One round, wrapped in the self-healing supervisor when it is on.
-
-        The coordinator snapshots the round-start state, runs the round,
-        and on a healable failure (:data:`~repro.exec.pool.HEALABLE_ERRORS`)
-        asks the pool to heal - reap the group, roll back to the snapshot,
-        re-fork or reshard - then retries the round. When resharding
-        degrades the pool to a single shard the retry runs serially, which
-        is the ``jobs=1`` oracle. Workers never guard (the coordinator
-        replaces the whole group); with healing off this is exactly
-        ``run_round``.
-        """
-        pool = self._pool
-        if (
-            pool is None
-            or pool.is_worker
-            or not pool.healing
-            or not pool.active
-            or pool._guard_depth
-        ):
-            self.run_round(plan)
-            return
-        pool._guard_depth += 1
-        try:
-            snapshot = pool.snapshot_round(plan)
-            while True:
-                try:
-                    self.run_round(plan)
-                    return
-                except HEALABLE_ERRORS as err:
-                    pool.heal(err, plan, snapshot)
-                    if not pool.active:
-                        # Degraded to the serial path mid-run: finish this
-                        # round (and the rest of the loop) as jobs=1.
-                        self.run_round(plan)
-                        return
-        finally:
-            pool._guard_depth = 0
+        """The BSP plan loop, replayed identically by every process of a
+        parallel run (the pool endpoint decides shard vs replicated work
+        per phase inside :meth:`_run_compiled_operator`). Pool workers call
+        this directly - worker replay and heal-time resume
+        (``resume_rounds``) are BSP-loop concepts, so this always drives
+        through the BSP engine regardless of the selected engine."""
+        return self._bsp_engine.drive(plan, resume_rounds=resume_rounds)
 
     def compiled(self, plan: Plan) -> CompiledPlan:
         """The cached compiled form of ``plan`` for this binding.

@@ -35,7 +35,68 @@ from repro.core.reducers import SUM, ReduceOp
 from repro.partition.base import PartitionedGraph
 from repro.runtime.engine import OperatorContext
 
-PLAN_SCHEMA = "repro-exec-plan/v1"
+PLAN_SCHEMA = "repro-exec-plan/v1.1"
+
+
+# ------------------------------------------------------- residual contracts
+
+
+@dataclass(frozen=True)
+class ResidualDecl:
+    """How an :class:`EdgePush` kernel's updates translate to residuals.
+
+    The declaration is what makes a plan eligible for the asynchronous
+    priority/delta engine (:class:`repro.exec.engine.AsyncEngine`): it
+    tells the engine how much "unprocessed change" a node carries, so the
+    scheduler can process highest-residual nodes first without any round
+    barrier. BSP execution ignores it entirely.
+
+    ``mode``:
+
+    * ``"monotone"`` - the push target improves monotonically under the
+      kernel's reducer (SSSP's MIN distances, CC-LP's MIN labels). A
+      node's residual is the size of its last improvement; processing a
+      node relaxes its out-edges exactly as the kernel describes.
+    * ``"accumulate"`` - delta-style mass propagation (PageRank): each
+      node holds a residual of un-pushed mass; processing moves the
+      residual into ``value`` and pushes ``transform(residual, node)``
+      along the out-edges. ``init_value``/``init_residual`` give the
+      starting arrays; ``dangling="uniform"`` redistributes
+      ``dangling_scale * residual`` of zero-out-degree nodes uniformly.
+
+    ``tolerance`` is the accumulate-mode stop threshold: the engine stops
+    once the total remaining residual mass falls below it.
+    """
+
+    mode: str  # "monotone" | "accumulate"
+    tolerance: float = 1e-9
+    value: NodePropMap | None = None  # accumulate: the map holding results
+    dangling: str | None = None  # accumulate: None | "uniform"
+    dangling_scale: float = 1.0
+    init_value: Callable[[Any], Any] | None = None  # nodes -> values
+    init_residual: Callable[[Any], Any] | None = None  # nodes -> residuals
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("monotone", "accumulate"):
+            raise ValueError(f"unknown residual mode {self.mode!r}")
+        if self.mode == "accumulate" and (
+            self.value is None
+            or self.init_value is None
+            or self.init_residual is None
+        ):
+            raise ValueError(
+                "accumulate residuals need value, init_value and init_residual"
+            )
+
+    def summary(self) -> dict:
+        """Machine-readable form (rides ``operator_summary``)."""
+        out: dict = {"mode": self.mode, "tolerance": self.tolerance}
+        if self.value is not None:
+            out["value"] = self.value.name
+        if self.dangling is not None:
+            out["dangling"] = self.dangling
+            out["dangling_scale"] = self.dangling_scale
+        return out
 
 
 # ------------------------------------------------------------- kernel forms
@@ -66,6 +127,9 @@ class EdgePush:
     with_weight: str | None = None  # None | "add" (value + edge weight)
     unit_weights: bool = False
     edge_filter: Callable[[Any, Any], Any] | None = None  # (src, dst) nodes
+    # Residual/delta declaration for the asynchronous engine; None means
+    # the kernel is only eligible for BSP execution.
+    residual: ResidualDecl | None = None
 
     @property
     def form(self) -> str:
@@ -261,7 +325,7 @@ class Plan:
 def operator_summary(operator: Operator) -> dict:
     """Machine-readable description of one operator (for ``repro plan``)."""
     kernel = operator.kernel
-    return {
+    summary = {
         "label": operator.label,
         "space": operator.space,
         "kind": operator.kind.value,
@@ -271,6 +335,11 @@ def operator_summary(operator: Operator) -> dict:
             {"map": name, "reducer": reducer} for name, reducer in kernel.writes()
         ],
     }
+    residual = getattr(kernel, "residual", None)
+    if residual is not None:
+        # Schema v1.1: async-engine eligibility is inspectable per kernel.
+        summary["residual"] = residual.summary()
+    return summary
 
 
 def _step_summary(step: Step) -> dict:
@@ -331,6 +400,7 @@ def format_plan_summary(summary: dict) -> str:
 
 __all__ = [
     "PLAN_SCHEMA",
+    "ResidualDecl",
     "EdgePush",
     "NodeUpdate",
     "DegreeReduce",

@@ -44,6 +44,11 @@ def _slice_event(s: TimelineSlice) -> dict[str, Any]:
         # The phase ran inside a generated fused kernel: name the
         # constituent steps so profiles stay interpretable after fusion.
         args["fused"] = list(s.fused)
+    if s.chunk is not None:
+        # Async-engine phases carry their chunk ordinal so the trace shows
+        # scheduling order; absent under BSP (keeps those traces identical).
+        args["chunk"] = s.chunk
+        args["engine"] = "async"
     return {
         "name": _event_name(s),
         "cat": "sync" if s.kind.is_sync else "compute",

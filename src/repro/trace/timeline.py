@@ -37,6 +37,9 @@ class TimelineSlice:
     # Constituent step labels when the phase ran as part of a generated
     # fused kernel (repro.exec.codegen); None for unfused phases.
     fused: tuple[str, ...] | None = None
+    # Async-engine chunk ordinal for ASYNC_COMPUTE phases; None under BSP,
+    # so BSP traces are unchanged by the engine layer.
+    chunk: int | None = None
 
 
 @dataclass
@@ -89,6 +92,7 @@ def build_timeline(
                     busy=min(busy, duration),
                     counters=phase.counters[host],
                     fused=getattr(phase, "fused", None),
+                    chunk=getattr(phase, "chunk", None),
                 )
             )
         clock += duration

@@ -27,39 +27,111 @@ def _undirected(graph: Graph):
 # --------------------------------------------------- run equivalence
 
 
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and value != value
+
+
+def _values_match(want: Any, got: Any, tolerance: float) -> bool:
+    # NaN is a legitimate fixed-point value (e.g. an uninitialized rank):
+    # two NaNs agree with each other even though NaN != NaN.
+    if _is_nan(want) or _is_nan(got):
+        return _is_nan(want) and _is_nan(got)
+    if want == got:
+        # Exact match first: also covers inf == inf, whose difference is
+        # NaN and would fail a naive tolerance comparison.
+        return True
+    if (
+        tolerance > 0
+        and isinstance(want, (int, float))
+        and isinstance(got, (int, float))
+    ):
+        return abs(float(want) - float(got)) <= tolerance
+    return False
+
+
 def check_equivalent_values(
     expected: Mapping[int, Any],
     actual: Mapping[int, Any],
     tolerance: float = 0.0,
+    map_name: str | None = None,
 ) -> None:
-    """Two runs' per-node values must agree (recovery equivalence).
+    """Two runs' per-node values must agree (run equivalence).
 
     Used by the fault-injection harness to certify that a crashed-and-
     recovered run converged to the same fixed point as the fault-free
-    baseline. Numeric values may differ by up to ``tolerance`` (absolute);
+    baseline, and by the async engine's verification against the BSP
+    oracle (value-equivalence, not byte-identity). Numeric values may
+    differ by up to ``tolerance`` (absolute); NaN compares equal to NaN;
     everything else must compare equal.
+
+    The error reports *all* diverging nodes (count plus the first few),
+    not just the first, so async-vs-BSP investigations see the shape of a
+    divergence in one shot. ``map_name`` prefixes the report when the
+    values belong to a named property map.
     """
+    prefix = f"map {map_name!r}: " if map_name else ""
     if set(expected) != set(actual):
         only_expected = sorted(set(expected) - set(actual))[:5]
         only_actual = sorted(set(actual) - set(expected))[:5]
         raise VerificationError(
-            f"value key sets differ: only-expected {only_expected}, "
+            f"{prefix}value key sets differ: only-expected {only_expected}, "
             f"only-actual {only_actual}"
         )
-    for node in expected:
-        want, got = expected[node], actual[node]
-        if (
-            tolerance > 0
-            and isinstance(want, (int, float))
-            and isinstance(got, (int, float))
-        ):
-            if abs(float(want) - float(got)) > tolerance:
-                raise VerificationError(
-                    f"node {node}: {got!r} differs from {want!r} "
-                    f"by more than {tolerance}"
-                )
-        elif want != got:
-            raise VerificationError(f"node {node}: {got!r} != expected {want!r}")
+    mismatched = [
+        node
+        for node in expected
+        if not _values_match(expected[node], actual[node], tolerance)
+    ]
+    if mismatched:
+        shown = sorted(mismatched)[:5]
+        detail = ", ".join(
+            f"node {node}: {actual[node]!r} != expected {expected[node]!r}"
+            for node in shown
+        )
+        suffix = f" (tolerance {tolerance})" if tolerance > 0 else ""
+        raise VerificationError(
+            f"{prefix}{len(mismatched)} of {len(expected)} nodes diverge"
+            f"{suffix}: {detail}"
+        )
+
+
+def check_equivalent_value_maps(
+    expected: Mapping[str, Mapping[int, Any]],
+    actual: Mapping[str, Mapping[int, Any]],
+    tolerance: float = 0.0,
+    tolerances: Mapping[str, float] | None = None,
+) -> None:
+    """Multi-map run equivalence with per-map tolerance overrides.
+
+    ``expected``/``actual`` map property-map names to per-node value
+    dicts; ``tolerances`` overrides the default ``tolerance`` for named
+    maps (e.g. ranks to 1e-6, labels exactly). The error names every
+    diverging map, each with its own node-level report.
+    """
+    if set(expected) != set(actual):
+        only_expected = sorted(set(expected) - set(actual))
+        only_actual = sorted(set(actual) - set(expected))
+        raise VerificationError(
+            f"map sets differ: only-expected {only_expected}, "
+            f"only-actual {only_actual}"
+        )
+    failures: list[str] = []
+    for name in sorted(expected):
+        map_tolerance = (
+            tolerances[name]
+            if tolerances is not None and name in tolerances
+            else tolerance
+        )
+        try:
+            check_equivalent_values(
+                expected[name], actual[name], map_tolerance, map_name=name
+            )
+        except VerificationError as error:
+            failures.append(str(error))
+    if failures:
+        raise VerificationError(
+            f"{len(failures)} map(s) diverge: " + "; ".join(failures)
+        )
 
 
 # ---------------------------------------------------------- components

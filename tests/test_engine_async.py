@@ -1,0 +1,170 @@
+"""The execution-engine layer: BSP extraction and the async engine.
+
+Two contracts, two verification modes (mirroring the refactor's design):
+
+* ``BSPEngine`` is a pure extraction of the historical drive loop, so
+  runs through it must be **byte-identical** to the default path -
+  ``RunResult.to_dict()`` compared as serialized JSON.
+* ``AsyncEngine`` replaces the schedule entirely (priority/delta, no
+  global barrier), so it is held to **value equivalence** against the
+  BSP oracle: exact for the monotone label-correcting apps (CC-LP,
+  SSSP, BFS), within the declared residual tolerance for delta-PR -
+  across all four partitioning policies, plus a hypothesis sweep over
+  random graphs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core.variants import RuntimeVariant
+from repro.eval.harness import KIMBAP_APPS, run_kimbap
+from repro.exec import AsyncEngine, BSPEngine, Executor, UnsupportedPlanError, make_engine
+from repro.faults import named_plan
+from repro.graph import generators
+from repro.partition import POLICIES, partition
+from repro.verify import check_equivalent_values
+
+# Async value-equivalence tolerance vs the BSP oracle, per app.
+TOLERANCE = {"PR": 1e-6, "SSSP": 1e-9, "CC-LP": 0.0, "BFS": 0.0}
+ASYNC_APPS = sorted(TOLERANCE)
+
+
+def _graph(app: str, seed: int = 3):
+    # Weighted for SSSP (its plan folds edge weights); road-like keeps the
+    # diameter high enough that scheduling order actually matters.
+    return generators.road_like(5, 4, seed=seed, weighted=True)
+
+
+def _run(app: str, graph, hosts: int, policy: str, engine: str):
+    pgraph = partition(graph, hosts, policy)
+    cluster = Cluster(hosts, threads_per_host=4)
+    executor = Executor(cluster, engine=engine)
+    try:
+        result = KIMBAP_APPS[app](cluster, pgraph, executor=executor)
+    finally:
+        executor.close()
+    return result, executor
+
+
+class TestAsyncValueEquivalence:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("app", ASYNC_APPS)
+    def test_matches_bsp_oracle_on_every_policy(self, app, policy):
+        graph = _graph(app)
+        oracle, _ = _run(app, graph, 3, policy, "bsp")
+        result, executor = _run(app, graph, 3, policy, "async")
+        check_equivalent_values(oracle.values, result.values, TOLERANCE[app])
+        assert executor.engine.name == "async"
+        assert executor.engine.last_updates > 0
+
+    @pytest.mark.parametrize("app", ASYNC_APPS)
+    def test_deterministic_for_fixed_seed(self, app):
+        graph = _graph(app)
+        first, first_exec = _run(app, graph, 3, "cvc", "async")
+        second, second_exec = _run(app, graph, 3, "cvc", "async")
+        assert first.values == second.values
+        assert first_exec.engine.last_updates == second_exec.engine.last_updates
+        assert first_exec.engine.last_chunks == second_exec.engine.last_chunks
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        nodes=st.integers(min_value=6, max_value=40),
+        degree=st.floats(min_value=1.0, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        hosts=st.integers(min_value=2, max_value=4),
+    )
+    def test_random_graphs_converge_to_the_oracle(self, nodes, degree, seed, hosts):
+        graph = generators.erdos_renyi(nodes, degree, seed=seed, weighted=True)
+        for app in ("CC-LP", "SSSP"):
+            oracle, _ = _run(app, graph, hosts, "cvc", "bsp")
+            result, _ = _run(app, graph, hosts, "cvc", "async")
+            check_equivalent_values(oracle.values, result.values, TOLERANCE[app])
+
+    def test_pagerank_error_bounded_by_declared_tolerance(self):
+        graph = _graph("PR")
+        oracle, _ = _run("PR", graph, 3, "hvc", "bsp")
+        result, _ = _run("PR", graph, 3, "hvc", "async")
+        worst = max(
+            abs(oracle.values[node] - result.values[node])
+            for node in oracle.values
+        )
+        assert worst <= TOLERANCE["PR"]
+        assert math.isclose(sum(result.values.values()), 1.0, abs_tol=1e-6)
+
+
+class TestBSPByteIdentity:
+    def test_explicit_bsp_engine_is_byte_identical_to_default(self):
+        graph = generators.road_like(4, 3, seed=1, weighted=True)
+        default = run_kimbap("CC-LP", "road", 2, graph=graph)
+        explicit = run_kimbap("CC-LP", "road", 2, graph=graph, engine="bsp")
+        assert json.dumps(default.to_dict(), sort_keys=True) == json.dumps(
+            explicit.to_dict(), sort_keys=True
+        )
+
+    def test_engine_key_serialized_only_when_not_bsp(self):
+        graph = generators.road_like(4, 3, seed=1, weighted=True)
+        bsp = run_kimbap("CC-LP", "road", 2, graph=graph, engine="bsp")
+        asynchronous = run_kimbap("CC-LP", "road", 2, graph=graph, engine="async")
+        assert "engine" not in bsp.to_dict()
+        assert asynchronous.to_dict()["engine"] == "async"
+        assert asynchronous.async_stats["updates"] > 0
+        assert asynchronous.async_stats["chunks"] > 0
+        check_equivalent_values(bsp.values, asynchronous.values)
+
+
+class TestEngineSelection:
+    def test_make_engine_rejects_unknown_names(self):
+        cluster = Cluster(2, threads_per_host=2)
+        executor = Executor(cluster)
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine(executor, "speculative")
+
+    def test_engine_instances_are_accepted(self):
+        cluster = Cluster(2, threads_per_host=2)
+        executor = Executor(cluster)
+        engine = BSPEngine(executor)
+        assert Executor(cluster, engine=engine).engine is engine
+
+    def test_async_refuses_parallel_jobs(self):
+        """The async chunk schedule is inherently sequential across hosts
+        (owner-serialized apply order); the pool replays BSP rounds."""
+        cluster = Cluster(2, threads_per_host=2)
+        with pytest.raises(ValueError, match="jobs"):
+            Executor(cluster, jobs=2, engine="async")
+
+    def test_chunk_size_option_threads_through(self):
+        cluster = Cluster(2, threads_per_host=2)
+        engine = make_engine(Executor(cluster), "async", chunk_size=7)
+        assert isinstance(engine, AsyncEngine)
+        assert engine.chunk_size == 7
+
+
+class TestUnsupportedPlans:
+    def test_plan_without_residual_declaration(self):
+        """Apps whose kernels declare no residual cannot run async."""
+        graph = generators.road_like(4, 3, seed=1)
+        with pytest.raises(UnsupportedPlanError, match="residual"):
+            run_kimbap("CC-SV", "road", 2, graph=graph, engine="async")
+
+    def test_fault_injection_is_refused(self):
+        graph = generators.road_like(4, 3, seed=1, weighted=True)
+        plan = named_plan("crash", seed=0, hosts=2, crash_round=1, checkpoint_interval=2)
+        with pytest.raises(UnsupportedPlanError, match="fault"):
+            run_kimbap("CC-LP", "road", 2, graph=graph, engine="async", fault_plan=plan)
+
+    def test_non_gar_variants_are_refused(self):
+        """The async engine writes owner values straight through the GAR
+        bulk path; the kvstore (MC) variant has no such surface."""
+        graph = generators.road_like(4, 3, seed=1, weighted=True)
+        with pytest.raises(UnsupportedPlanError, match="GAR"):
+            run_kimbap(
+                "CC-LP", "road", 2, graph=graph,
+                variant=RuntimeVariant.MC, engine="async",
+            )

@@ -404,6 +404,34 @@ class TestWorkerDeathSurfacing:
         assert stats["bytes_exchanged"] > 0
         assert stats["segments_peak"] >= 2
 
+    def test_close_is_idempotent(self, setup):
+        """close() twice - then __del__ on top - must not raise or try to
+        release the pool's shared segments a second time (the harness
+        calls close() explicitly and GC may still run __del__ later)."""
+        from repro.algorithms.cc_lp import cc_lp
+
+        cluster, pgraph = setup
+        before = _segments()
+        executor = Executor(cluster, jobs=2)
+        cc_lp(cluster, pgraph, executor=executor)
+        stats = executor.parallel_stats()
+        assert stats is not None and stats["forks"] >= 1
+        executor.close()
+        assert _segments() == before
+        executor.close()  # second close: no pool left, must be a no-op
+        executor.__del__()  # GC path after explicit close: also a no-op
+        assert _segments() == before
+        assert executor.parallel_stats() is None  # close() dropped the pool
+
+    def test_close_without_pool_is_safe(self, setup):
+        """An executor that never forked (jobs=1) closes cleanly twice."""
+        cluster, _ = setup
+        executor = Executor(cluster)
+        executor.close()
+        executor.close()
+        executor.__del__()
+        assert executor.parallel_stats() is None
+
     def test_failed_run_leaves_no_segments(self, setup):
         """An exception raised mid-parallel-run (on every replica - the
         replay is deterministic) aborts cleanly: close() reaps workers and
