@@ -7,8 +7,10 @@ scalar ``jobs=1`` (the oracle), scalar ``jobs=4``, interpreted bulk
 ``jobs=1`` (``codegen=False``), generated-kernel bulk ``jobs=1``
 (``repro.exec.codegen``, the bulk default), and bulk ``jobs=2/4``
 (host-shard process parallelism, ``repro.exec.pool``) - times every
-variant with ``time.perf_counter``, and **asserts the byte-identical
-equivalence contract** against the scalar oracle: ``RunResult.to_dict()``
+variant with ``time.perf_counter`` over a cell-shared prebuilt
+partition (graph loading/partitioning is excluded from the measured
+region, matching how the paper reports execution time), and **asserts
+the byte-identical equivalence contract** against the scalar oracle: ``RunResult.to_dict()``
 (counters, conflict counts, modeled seconds, traces) and the final
 property values must match exactly. Any divergence exits non-zero, so
 the CI smoke job doubles as the equivalence gate.
@@ -21,7 +23,14 @@ bulk ``jobs=2`` must beat bulk ``jobs=1`` by
 kernels must beat the interpreted bulk path by
 ``REPRO_BENCH_MIN_CODEGEN_SPEEDUP`` (default 1.2x) at the same jobs=1
 configuration (that ratio is core-count independent, but it shares the
-gate switch so loaded single-core machines never fail on timer noise). The scalar backend is
+gate switch so loaded single-core machines never fail on timer noise).
+The full (non-fast) sweep additionally runs the **SSSP frontier-codegen
+floor** (``FRONTIER_FLOOR_CELL``): road SSSP at scale 4 - the
+hundreds-of-rounds wavefront workload the compiled frontier kernels of
+``repro.exec.codegen.PreparedFrontierPush`` exist for - timed min-of-N
+interpreted vs generated, gated on the same
+``REPRO_BENCH_MIN_CODEGEN_SPEEDUP`` floor and on byte-identical
+results. The scalar backend is
 the easy parallelism demonstration: its compute phases dominate the run.
 The bulk gate is the honest one (the COST caution of PAPERS.md): the
 vectorized baseline is fast, so winning against it demands the
@@ -44,6 +53,7 @@ equivalence-critical cells, ``REPRO_BENCH_SCALE`` rescales the graphs.
 from __future__ import annotations
 
 import json
+import math
 import os
 import sys
 import time
@@ -51,8 +61,9 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.eval.harness import run_kimbap  # noqa: E402
+from repro.eval.harness import APP_POLICY, run_kimbap  # noqa: E402
 from repro.eval.workloads import load_graph  # noqa: E402
+from repro.partition import partition  # noqa: E402
 
 REPORT_SCHEMA = "repro-bench-report/v1"
 TITLE = (
@@ -128,10 +139,71 @@ def cells() -> list[tuple[str, str, int]]:
     if not fast_mode():
         sweep += [
             ("PR", "road", 4),
+            ("SSSP", "road", 4),
             ("CC-LP", "road", 4),
             ("PR", "powerlaw", 16),
         ]
     return sweep
+
+
+# The SSSP frontier-codegen floor cell: app, graph, hosts, graph scale,
+# timing repeats (min-of-N on each side). Road SSSP is the workload the
+# frontier-aware kernels exist for - a high-diameter wavefront that runs
+# hundreds of rounds over the same frozen decomposition - and the scale-4
+# grid gives the compiled path enough rounds to amortize its one-time
+# builds the way any real input would (the default bench analogs are
+# ~10^4x smaller than the paper's graphs, so per-run constants loom
+# disproportionately large at scale 0).
+FRONTIER_FLOOR_CELL = ("SSSP", "road", 4, 4, 5)
+
+
+def run_frontier_floor() -> dict:
+    """Time interpreted-bulk vs generated frontier kernels head to head.
+
+    Scalar oracles are impractical at this scale, so the equivalence
+    check here is interpreted vs generated (both are matrix-verified
+    against the scalar oracle at default scale above): byte-identical
+    ``RunResult.to_dict()`` and final values, min-of-N wall-clock on
+    each side. The repeats interleave (interpreted, generated) pairs so
+    a monotonic system-load drift penalizes both sides equally instead
+    of whichever ran second.
+    """
+    app, graph_name, hosts, scale, repeats = FRONTIER_FLOOR_CELL
+    graph = load_graph(graph_name, weighted=(app == "SSSP"), scale=scale)
+    pgraph = partition(graph, hosts, APP_POLICY[app])
+
+    def timed(codegen):
+        start = time.perf_counter()
+        result = run_kimbap(
+            app, graph_name, hosts, graph=graph, pgraph=pgraph,
+            bulk=True, jobs=1, codegen=codegen,
+        )
+        return time.perf_counter() - start, result
+
+    interp_s = codegen_s = math.inf
+    interp = compiled = None
+    for _ in range(repeats):
+        elapsed, interp = timed(False)
+        interp_s = min(interp_s, elapsed)
+        elapsed, compiled = timed(None)
+        codegen_s = min(codegen_s, elapsed)
+    return {
+        "app": app,
+        "graph": graph_name,
+        "hosts": hosts,
+        "scale": scale,
+        "repeats": repeats,
+        "rounds": interp.rounds,
+        "interpreted_s": interp_s,
+        "codegen_s": codegen_s,
+        "codegen_speedup": (
+            interp_s / codegen_s if codegen_s > 0 else float("inf")
+        ),
+        "identical": (
+            canonical(interp) == canonical(compiled)
+            and interp.values == compiled.values
+        ),
+    }
 
 
 def canonical(result) -> str:
@@ -140,13 +212,17 @@ def canonical(result) -> str:
 
 def run_cell(app: str, graph_name: str, hosts: int) -> dict:
     graph = load_graph(graph_name, weighted=(app == "SSSP"))
+    # One partition per cell, shared by every variant: the timed region
+    # measures execution only, the same exclusion of graph loading and
+    # partitioning time the paper's reported numbers use.
+    pgraph = partition(graph, hosts, APP_POLICY[app])
     wallclock: dict[str, float] = {}
     results: dict[str, object] = {}
     for key, bulk, jobs, codegen in MATRIX:
         start = time.perf_counter()
         results[key] = run_kimbap(
-            app, graph_name, hosts, graph=graph, bulk=bulk, jobs=jobs,
-            codegen=codegen,
+            app, graph_name, hosts, graph=graph, pgraph=pgraph, bulk=bulk,
+            jobs=jobs, codegen=codegen,
         )
         wallclock[key] = time.perf_counter() - start
     oracle = results["scalar_j1"]
@@ -202,6 +278,10 @@ def run_cell(app: str, graph_name: str, hosts: int) -> dict:
 
 
 def main() -> int:
+    # The floor runs before the matrix: a fresh process gives it the
+    # same memory layout every time, instead of whatever the full
+    # matrix's allocator churn left behind.
+    frontier_floor = None if fast_mode() else run_frontier_floor()
     rows = [run_cell(*cell) for cell in cells()]
 
     from repro.eval.reporting import format_table
@@ -229,6 +309,15 @@ def main() -> int:
         for r in rows
     ]
     text = f"\n\n===== {TITLE} =====\n" + format_table(HEADERS, printable) + "\n"
+    if frontier_floor is not None:
+        f = frontier_floor
+        text += (
+            f"\nfrontier codegen floor: {f['app']} {f['graph']}@{f['hosts']} "
+            f"(scale {f['scale']}, {f['rounds']} rounds, min of "
+            f"{f['repeats']}): interpreted {f['interpreted_s']:.3f}s, "
+            f"generated {f['codegen_s']:.3f}s = {f['codegen_speedup']:.2f}x "
+            f"({'identical' if f['identical'] else 'DIVERGED'})\n"
+        )
     print(text)
 
     reports_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "reports")
@@ -243,6 +332,7 @@ def main() -> int:
         "results": [],
         "rows": [list(row) for row in printable],
         "cells": rows,
+        "frontier_floor": frontier_floor,
         "matrix": [list(entry) for entry in MATRIX],
         "cpu_count": os.cpu_count(),
         "speedup_gated": gate_speedup(),
@@ -292,6 +382,31 @@ def main() -> int:
             f"(< {min_codegen_speedup():.1f}x, cpu_count={os.cpu_count()})",
             file=sys.stderr,
         )
+    if frontier_floor is not None:
+        if not frontier_floor["identical"]:
+            failed = True
+            print(
+                f"EQUIVALENCE FAILURE: frontier floor "
+                f"{frontier_floor['app']} on {frontier_floor['graph']} @ "
+                f"{frontier_floor['hosts']} hosts (scale "
+                f"{frontier_floor['scale']}) - generated kernels diverged "
+                "from interpreted bulk",
+                file=sys.stderr,
+            )
+        if (
+            gate_speedup()
+            and frontier_floor["codegen_speedup"] < min_codegen_speedup()
+        ):
+            failed = True
+            print(
+                f"SPEEDUP FAILURE: frontier floor {frontier_floor['app']} "
+                f"{frontier_floor['graph']}@{frontier_floor['hosts']} "
+                f"(scale {frontier_floor['scale']}) generated kernels over "
+                f"interpreted bulk is "
+                f"{frontier_floor['codegen_speedup']:.2f}x "
+                f"(< {min_codegen_speedup():.1f}x, cpu_count={os.cpu_count()})",
+                file=sys.stderr,
+            )
     if failed:
         return 1
     print(

@@ -19,6 +19,7 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.exec import (
+    ActiveFilter,
     EdgePush,
     Executor,
     Operator,
@@ -50,7 +51,10 @@ def cc_lp_plan(pgraph: PartitionedGraph, label: NodePropMap) -> Plan:
                         target=label,
                         op=MIN,
                         source=label,
-                        require_active=label,
+                        # Declarative frontier: labels that improved last
+                        # round (serializes in the plan; compiles to a
+                        # frontier-aware kernel under codegen).
+                        require_active=ActiveFilter(label),
                         charge_per_source=1,
                         # Async eligibility: labels improve monotonically
                         # under MIN (the classic asynchronous-safe program),

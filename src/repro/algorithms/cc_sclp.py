@@ -16,6 +16,7 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.exec import (
+    ActiveFilter,
     EdgePush,
     Executor,
     Operator,
@@ -54,7 +55,9 @@ def cc_sclp_plan(pgraph: PartitionedGraph, label: NodePropMap) -> Plan:
                         target=label,
                         op=MIN,
                         source=label,
-                        require_active=label,
+                        # Declarative frontier: only labels that changed
+                        # last round push (compiled under codegen).
+                        require_active=ActiveFilter(label),
                         skip_zero_degree=False,
                         charge_per_source=1,
                     ),

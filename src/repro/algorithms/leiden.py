@@ -38,6 +38,7 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.exec import (
+    DstCmpFilter,
     EdgePush,
     Executor,
     Operator,
@@ -79,7 +80,9 @@ def connected_split_plan(
                         source=sub,
                         skip_zero_degree=False,
                         charge_per_edge=1,
-                        edge_filter=lambda src, dst: group_of[src] == group_of[dst],
+                        # Declarative: only intra-group edges propagate
+                        # (serializes; compiles to a mask under codegen).
+                        edge_filter=DstCmpFilter("eq", group_of),
                     ),
                 )
             ),

@@ -27,6 +27,7 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MAX
 from repro.core.variants import RuntimeVariant
 from repro.exec import (
+    CmpFilter,
     DegreeReduce,
     EdgePush,
     Executor,
@@ -124,7 +125,9 @@ def mis_plan(
                         op=MAX,
                         source=state,
                         skip_zero_degree=False,
-                        value_filter=lambda values: values == IN_SET,
+                        # Declarative: only IN nodes push the exclusion
+                        # (serializes; compiles to a mask under codegen).
+                        value_filter=CmpFilter("eq", IN_SET),
                         const_value=OUT,
                     ),
                 )

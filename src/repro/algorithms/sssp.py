@@ -21,6 +21,8 @@ from repro.core.propmap import NodePropMap
 from repro.core.reducers import MIN
 from repro.core.variants import RuntimeVariant
 from repro.exec import (
+    ActiveFilter,
+    CmpFilter,
     EdgePush,
     Executor,
     Operator,
@@ -50,9 +52,14 @@ def sssp_plan(
                         target=dist,
                         op=MIN,
                         source=dist,
-                        require_active=dist,
+                        # Declarative filters: the frontier (distances
+                        # that improved last round) and the reachability
+                        # predicate serialize in the plan and compile to
+                        # a frontier-aware kernel instead of running the
+                        # interpreted bulk pipeline.
+                        require_active=ActiveFilter(dist),
                         charge_per_source=1,
-                        value_filter=lambda values: values != UNREACHED,
+                        value_filter=CmpFilter("ne", UNREACHED),
                         with_weight="add",
                         unit_weights=unit_weights,
                         # Async eligibility: distances improve monotonically

@@ -655,7 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser(
         "plan",
         help="print the operator plan(s) an application executes "
-        "(text, or --json for the repro-exec-plan/v1.1 schema)",
+        "(text, or --json for the repro-exec-plan/v1.2 schema)",
     )
     plan.add_argument("app", choices=sorted(KIMBAP_APPS))
     plan.add_argument(

@@ -219,6 +219,11 @@ class Cluster:
     def elapsed_by_kind(self) -> dict[PhaseKind, ModeledTime]:
         return self.cost_model.time_by_kind(self.log, self.threads_per_host)
 
+    def elapsed_all(self) -> tuple[ModeledTime, dict[PhaseKind, ModeledTime]]:
+        """Total and per-kind modeled time in one pricing pass over the
+        log (bit-identical to the two separate calls)."""
+        return self.cost_model.time_totals(self.log, self.threads_per_host)
+
     def advance_round(self) -> int:
         """Start the next BSP round; later phases carry the new round id."""
         self.current_round += 1

@@ -93,9 +93,16 @@ class CostModel:
     weights: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
 
     def units(self, counters: Counters) -> float:
+        # Summation stays in COUNTER_FIELDS order; dropping zero-weight
+        # terms is exact (every partial sum is non-negative, so +0.0 is
+        # the identity) and instance-dict reads skip the attribute
+        # protocol - this is the log-pricing hot loop.
         weights = self.weights
+        values = counters.__dict__
         return sum(
-            weights[name] * getattr(counters, name) for name in COUNTER_FIELDS
+            weights[name] * values[name]
+            for name in COUNTER_FIELDS
+            if weights[name]
         )
 
     def units_breakdown(self, counters: Counters) -> dict[str, float]:
@@ -179,3 +186,22 @@ class CostModel:
             current = by_kind.get(phase.kind, ModeledTime(0.0, 0.0))
             by_kind[phase.kind] = current + self.phase_time(phase, threads)
         return by_kind
+
+    def time_totals(
+        self, log: MetricsLog, threads: int
+    ) -> tuple[ModeledTime, dict[PhaseKind, ModeledTime]]:
+        """``time`` and ``time_by_kind`` in one pricing pass.
+
+        Long runs log thousands of phases and result assembly prices each
+        one twice; the fused pass prices once. Both accumulations run in
+        log order with the exact additions of the two originals, so the
+        returned values are bit-identical to calling them separately.
+        """
+        total = ModeledTime(0.0, 0.0)
+        by_kind: dict[PhaseKind, ModeledTime] = {}
+        for phase in log.phases:
+            priced = self.phase_time(phase, threads)
+            total = total + priced
+            current = by_kind.get(phase.kind, ModeledTime(0.0, 0.0))
+            by_kind[phase.kind] = current + priced
+        return total, by_kind

@@ -156,6 +156,13 @@ class PhaseRecord:
     # instead. None for every BSP phase - never serialized, like ``fused``,
     # so the BSP byte-identity contract is untouched.
     chunk: int | None = None
+    # Per-host frontier-gather path chosen by a compiled frontier push
+    # (repro.exec.codegen.PreparedFrontierPush): "dense" (mask over the
+    # full precomputed expansion), "sparse" (per-source gather), or
+    # "empty" (nothing survived the filters). None for every other phase
+    # - never serialized, like ``fused``, so the byte-identity contract
+    # is untouched.
+    frontier: dict[int, str] | None = None
 
     @classmethod
     def empty(
@@ -203,10 +210,17 @@ class MetricsLog:
         return record
 
     def total_counters(self) -> Counters:
+        # Integer addition is exact, so folding through the instance
+        # dicts (and skipping zero entries) matches ``Counters.add``
+        # field for field at a fraction of the attribute-protocol cost -
+        # result assembly sums every phase of a many-thousand-phase log.
         total = Counters()
+        sums = total.__dict__
         for phase in self.phases:
             for counters in phase.counters:
-                total.add(counters)
+                for name, value in counters.__dict__.items():
+                    if value:
+                        sums[name] += value
         return total
 
     def total_messages(self) -> int:

@@ -61,6 +61,20 @@ class GarHostStore:
         self._remote_keys = np.empty(0, dtype=np.int64)
         self._remote_values: list[Any] = []
         self._remote_hash: dict[int, Any] = {}
+        # Dense global->local translation (-1 where absent), built lazily
+        # for the bulk paths; scalar reads keep the dict. Pure layout - no
+        # charges attach to building or indexing it.
+        self._g2l_arr: np.ndarray | None = None
+
+    def _translate_arr(self) -> np.ndarray:
+        if self._g2l_arr is None:
+            arr = np.full(self.owner.size, -1, dtype=np.int64)
+            arr[self.part.local_to_global] = np.arange(
+                self.part.num_local, dtype=np.int64
+            )
+            arr.flags.writeable = False
+            self._g2l_arr = arr
+        return self._g2l_arr
 
     # -- local id translation ----------------------------------------------
 
@@ -90,10 +104,7 @@ class GarHostStore:
         if self._masters_contiguous:
             return keys - self._master_base
         self._check_counters().hash_probes += int(keys.size)
-        translate = self.part.global_to_local
-        return np.fromiter(
-            (translate[int(k)] for k in keys), dtype=np.int64, count=keys.size
-        )
+        return self._translate_arr()[keys]
 
     # -- reads ----------------------------------------------------------------
 
@@ -316,8 +327,7 @@ class GarHostStore:
         of the work; installing the delta on a replica is free."""
         if self._masters_contiguous:
             return (keys - self._master_base).tolist()
-        translate = self.part.global_to_local
-        return [translate[int(k)] for k in keys.tolist()]
+        return self._translate_arr()[keys].tolist()
 
     def peek_masters(self, keys: np.ndarray) -> list[Any]:
         """Uncharged :meth:`serve_master_bulk`, for exporting the values a
@@ -335,10 +345,9 @@ class GarHostStore:
     def poke_mirrors(self, keys: np.ndarray, values: list[Any]) -> None:
         """Uncharged :meth:`write_mirror_bulk`: install a peer's broadcast
         fan-out writes into this replica."""
-        translate = self.part.global_to_local
         store = self.values
-        for key, value in zip(keys.tolist(), values):
-            store[translate[key]] = value
+        for local, value in zip(self._translate_arr()[keys].tolist(), values):
+            store[local] = value
 
     def write_mirror_bulk(self, keys: np.ndarray, values: list[Any]) -> None:
         """Batched :meth:`write_mirror` with aggregate accounting."""
@@ -346,13 +355,13 @@ class GarHostStore:
         counters = self.cluster.counters(self.host_id)
         counters.hash_probes += count
         counters.local_ops += count
-        translate = self.part.global_to_local
-        num_masters = self.part.num_masters
+        locals_ = self._translate_arr()[keys]
+        bad = locals_ < self.part.num_masters
+        if bad.any():
+            key = int(keys[bad][0])
+            raise KeyError(f"node {key} is not a mirror on host {self.host_id}")
         store = self.values
-        for key, value in zip(keys.tolist(), values):
-            local = translate.get(key)
-            if local is None or local < num_masters:
-                raise KeyError(f"node {key} is not a mirror on host {self.host_id}")
+        for local, value in zip(locals_.tolist(), values):
             store[local] = value
 
     # -- remote cache ----------------------------------------------------------

@@ -41,6 +41,10 @@ from repro.partition.base import PartitionedGraph
 
 KEY_BYTES = 8
 
+# Sentinel for "activity mask not built this round" (None is a valid cache
+# value: it marks a built-and-empty active set).
+_ACTIVE_UNBUILT = object()
+
 
 class NodePropMap:
     """A node-id -> property map distributed across the cluster."""
@@ -107,13 +111,19 @@ class NodePropMap:
         # Both buffers start full so the first round after initialization
         # sees every node active (reset_updated swaps buffers per round).
         self._active: list[set[int]] = [
-            set(int(g) for g in pgraph.parts[h].local_to_global)
+            set(pgraph.parts[h].local_to_global.tolist())
             for h in range(num_hosts)
         ]
         self._next_active: list[set[int]] = [
-            set(int(g) for g in pgraph.parts[h].local_to_global)
+            set(pgraph.parts[h].local_to_global.tolist())
             for h in range(num_hosts)
         ]
+        # Per-host dense bool mask over the last completed round's active
+        # set, built lazily on first probe and reused by every kernel in
+        # the round (the sets are immutable between buffer swaps; the
+        # swap sites invalidate). _ACTIVE_UNBUILT marks "not built yet";
+        # None marks a built-and-empty active set.
+        self._active_mask_cache: list[Any] = [_ACTIVE_UNBUILT] * num_hosts
         self._pinned = False
         self._pin_invariant = "none"
         self._mirror_filter_cache: dict[str, list[dict[int, np.ndarray]]] = {}
@@ -280,12 +290,87 @@ class NodePropMap:
             prepared, np.asarray(values), op
         )
 
+    def prepare_reduce_bulk_subsets(
+        self, host: int, threads: np.ndarray, keys: np.ndarray
+    ) -> Any | None:
+        """Precompute the subset-fold plan for a static batch (codegen).
+
+        Frontier-aware kernels (``PreparedFrontierPush``) reduce with a
+        per-round *subset* of a frozen edge expansion, so the key
+        validation and the composite stable sort hoist to generation time
+        while the subset selection stays per round. Returns None when this
+        host's reduction strategy has no prepared path (see
+        :meth:`prepare_reduce_bulk`).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return None
+        prepare = getattr(self.reductions[host], "prepare_bulk_subsets", None)
+        if prepare is None:
+            return None
+        bad = (keys < 0) | (keys >= self.pgraph.num_nodes)
+        if bad.any():
+            key = int(keys[bad][0])
+            raise KeyError(
+                f"reduce target {key} is not a node id (graph has "
+                f"{self.pgraph.num_nodes} nodes)"
+            )
+        return prepare(np.asarray(threads), keys)
+
+    def reduce_bulk_subset(
+        self, host: int, prepared: Any, idx: np.ndarray, values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        """:meth:`reduce_bulk` over the ascending-position subset ``idx``
+        of a :meth:`prepare_reduce_bulk_subsets` plan: byte-identical
+        charges, conflicts, and folded state."""
+        if idx.size == 0:
+            return
+        if self._op is None:
+            self._op = op
+        elif self._op.name != op.name:
+            raise ValueError(
+                f"map {self.name!r} reduced with {op.name!r} after {self._op.name!r}; "
+                "a map uses a single reduction operator per loop"
+            )
+        self.reductions[host].reduce_bulk_subset(
+            prepared, idx, np.asarray(values), op
+        )
+
     # ----------------------------------------------------------- compiler API
 
     def reset_updated(self) -> None:
         self._any_updated = False
         self._active = self._next_active
         self._next_active = [set() for _ in range(self.cluster.num_hosts)]
+        self._invalidate_active_cache()
+
+    def _invalidate_active_cache(self) -> None:
+        """Drop the cached activity masks (the buffers just swapped)."""
+        self._active_mask_cache = [_ACTIVE_UNBUILT] * self.cluster.num_hosts
+
+    def active_mask(self, host: int) -> np.ndarray | None:
+        """Dense bool mask (by global node id) of ``host``'s last-round
+        active set, or None when the set is empty.
+
+        Built once per round per host and frozen: ``_active`` is only
+        ever replaced wholesale (buffer swap, checkpoint restore, epoch
+        install - all of which invalidate), never mutated in place, so
+        every activity probe in a round shares one gather instead of
+        rebuilding ``np.isin`` per kernel.
+        """
+        cached = self._active_mask_cache[host]
+        if cached is _ACTIVE_UNBUILT:
+            active = self._active[host]
+            if active:
+                mask = np.zeros(self.pgraph.num_nodes, dtype=bool)
+                mask[np.fromiter(active, dtype=np.int64, count=len(active))] = True
+                mask.flags.writeable = False
+                cached = mask
+            else:
+                cached = None
+            self._active_mask_cache[host] = cached
+        return cached
 
     def is_active(self, host: int, key: int) -> bool:
         """Did ``key``'s locally-readable copy change last round?
@@ -299,15 +384,19 @@ class NodePropMap:
         return key in self._active[host]
 
     def is_active_bulk(self, host: int, keys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`is_active` (uncharged, like the scalar probe)."""
+        """Vectorized :meth:`is_active` (uncharged, like the scalar probe).
+
+        Gathers from the cached :meth:`active_mask`, so the per-round
+        frontier materialization happens once per host, not once per
+        kernel probe (membership results are identical to the former
+        ``np.isin`` scan)."""
         keys = np.asarray(keys)
         if not self.variant.uses_gar:
             return np.ones(keys.size, dtype=bool)
-        active = self._active[host]
-        if not active:
+        mask = self.active_mask(host)
+        if mask is None:
             return np.zeros(keys.size, dtype=bool)
-        active_arr = np.fromiter(active, dtype=np.int64, count=len(active))
-        return np.isin(keys, active_arr)
+        return mask[keys]
 
     def is_updated(self) -> bool:
         """Did the last reduce_sync change any master value? (BSP-round vote)"""
@@ -749,22 +838,28 @@ class NodePropMap:
         self._mirror_filter_cache[invariant] = fan_out
         return fan_out
 
+    def _pending_mask(self, pending: set[int]) -> np.ndarray:
+        """Dense bool mask over global ids of an updated-masters set: one
+        scatter per owner host, then every fan-out pair filters by O(|ids|)
+        gather instead of a per-pair ``np.isin`` sort."""
+        mask = np.zeros(self.pgraph.num_nodes, dtype=bool)
+        mask[np.fromiter(pending, dtype=np.int64, count=len(pending))] = True
+        return mask
+
     def _broadcast(self, full: bool) -> None:
         fan_out = self._mirror_targets(self._pin_invariant)
         for owner_host in range(self.cluster.num_hosts):
             pending = self._updated_masters[owner_host]
-            pending_arr: np.ndarray | None = None
+            pending_mask: np.ndarray | None = None
             if not full and pending:
-                pending_arr = np.fromiter(
-                    pending, dtype=np.int64, count=len(pending)
-                )
+                pending_mask = self._pending_mask(pending)
             for mirror_host, ids in fan_out[owner_host].items():
                 if full:
                     selected = ids
                 else:
-                    if pending_arr is None:
+                    if pending_mask is None:
                         continue
-                    selected = ids[np.isin(ids, pending_arr)]
+                    selected = ids[pending_mask[ids]]
                 if selected.size == 0:
                     continue
                 self.cluster.network.send(
@@ -799,9 +894,9 @@ class NodePropMap:
             pending = self._updated_masters[owner_host]
             if not pending:
                 continue
-            pending_arr = np.fromiter(pending, dtype=np.int64, count=len(pending))
+            pending_mask = self._pending_mask(pending)
             for mirror_host, ids in fan_out[owner_host].items():
-                selected = ids[np.isin(ids, pending_arr)]
+                selected = ids[pending_mask[ids]]
                 if selected.size == 0:
                     continue
                 self.cluster.network.send(
@@ -1085,6 +1180,7 @@ class NodePropMap:
         self._updated_masters = [set(s) for s in state["updated_masters"]]
         self._active = [set(s) for s in state["active"]]
         self._next_active = [set(s) for s in state["next_active"]]
+        self._invalidate_active_cache()
         op_name = state["op"]
         self._op = None if op_name is None else resolve_op(self.name, op_name)
         self._pinned = state["pinned"]
@@ -1131,6 +1227,7 @@ class NodePropMap:
         self._updated_masters = [set(s) for s in state["updated_masters"]]
         self._active = [set(s) for s in state["active"]]
         self._next_active = [set(s) for s in state["next_active"]]
+        self._invalidate_active_cache()
         self._op = state["op"]
         self._pinned = state["pinned"]
         self._pin_invariant = state["pin_invariant"]

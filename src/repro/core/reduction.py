@@ -141,6 +141,82 @@ class PreparedFold:
         return acc
 
 
+class PreparedSubsetFold:
+    """Composite-key fold plans for *subsets* of a static reduce batch.
+
+    Frontier-aware kernels (``repro.exec.codegen.PreparedFrontierPush``)
+    reduce with a per-round subset of a frozen ``(threads, keys)`` edge
+    expansion - the active sources change, the expansion does not. The
+    composite stable sort is a pure function of the full batch, so it is
+    computed once here as a per-position *rank*; :meth:`fold` then
+    replays :func:`_fold_batch`'s exact first-occurrence + ``ufunc.at``
+    decomposition for any ascending index subset by sorting just the
+    subset's O(k) precomputed ranks - no per-round composite-key build,
+    no O(total) passes.
+
+    The composite span is the *full* batch's ``max(keys) + 1`` rather than
+    the subset's: composite ordering and the ``% span`` / ``// span``
+    decompositions are identical for any span exceeding every subset key,
+    so the folded batch state is observably interchangeable with what
+    :meth:`ThreadLocalReduction.reduce_bulk` stores.
+    """
+
+    __slots__ = ("threads", "keys", "count", "span", "rank", "composite")
+
+    def __init__(self, threads: np.ndarray, keys: np.ndarray) -> None:
+        def frozen(array: np.ndarray) -> np.ndarray:
+            array.flags.writeable = False
+            return array
+
+        self.threads = threads
+        self.keys = keys
+        self.count = int(keys.size)
+        self.span = int(keys.max()) + 1
+        composite = threads * self.span + keys
+        # Stable order matches np.unique's mergesort-with-index exactly:
+        # equal composites keep ascending batch position. The inverse
+        # permutation (each position's rank in that order) is what rounds
+        # sort by - ranks are distinct, so any sort reproduces the one
+        # stable order.
+        order = np.argsort(composite, kind="stable")
+        rank = np.empty(order.size, dtype=np.int64)
+        rank[order] = np.arange(order.size, dtype=np.int64)
+        self.rank = frozen(rank)
+        self.composite = frozen(composite)
+
+    def fold(
+        self, idx: np.ndarray, values: np.ndarray, op: ReduceOp
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Fold the subset at ascending batch positions ``idx`` (``values``
+        aligned with ``idx``) into ``(span, uniq, folded)`` batch state.
+
+        Per folded slot, duplicates apply in ascending batch position -
+        the same sequence :func:`_fold_batch` feeds ``ufunc.at`` - so the
+        folded values are bit-identical to the generic bulk path:
+        subset positions with equal composites carry ranks in ascending
+        batch order, and ``idx`` itself is ascending, so sorting the
+        subset's ranks yields exactly the stable composite order of the
+        subset with batch positions as the sort permutation.
+        """
+        pos_in_batch = np.argsort(self.rank[idx])
+        comp = self.composite[idx[pos_in_batch]]
+        starts = np.empty(comp.size, dtype=bool)
+        starts[0] = True
+        np.not_equal(comp[1:], comp[:-1], out=starts[1:])
+        uniq = comp[starts]
+        if op.name == "overwrite":
+            ends = np.empty(comp.size, dtype=bool)
+            ends[-1] = True
+            ends[:-1] = starts[1:]
+            return self.span, uniq, values[pos_in_batch[ends]]
+        acc = values[pos_in_batch[starts]]
+        rest = ~starts
+        if rest.any():
+            seg = np.cumsum(starts) - 1
+            op.ufunc.at(acc, seg[rest], values[pos_in_batch[rest]])
+        return self.span, uniq, acc
+
+
 class ThreadLocalReduction:
     """Conflict-free (CF): one private map per virtual thread."""
 
@@ -244,6 +320,46 @@ class ThreadLocalReduction:
         counters = self.cluster.counters(self.host_id)
         counters.reduce_calls += prepared.count
         self._batch = (prepared.span, prepared.uniq, prepared.fold(values, op))
+
+    def prepare_bulk_subsets(
+        self, threads: np.ndarray, keys: np.ndarray
+    ) -> PreparedSubsetFold | None:
+        """Assemble a :class:`PreparedSubsetFold` for a static batch whose
+        per-round reduces cover varying ascending subsets (codegen)."""
+        if keys.size == 0:
+            return None
+        return PreparedSubsetFold(
+            np.asarray(threads), np.asarray(keys, dtype=np.int64)
+        )
+
+    def reduce_bulk_subset(
+        self,
+        prepared: PreparedSubsetFold,
+        idx: np.ndarray,
+        values: np.ndarray,
+        op: ReduceOp,
+    ) -> None:
+        """:meth:`reduce_bulk` over the subset of ``prepared``'s batch at
+        ascending positions ``idx``: identical charges and folded state,
+        minus the per-round composite sort. Falls back to the generic path
+        whenever its preconditions do not hold."""
+        count = int(idx.size)
+        if count == 0:
+            return
+        values = np.asarray(values)
+        if (
+            self._batch is not None
+            or any(self.maps)
+            or values.dtype == object
+            or (op.ufunc is None and op.name != "overwrite")
+        ):
+            self.reduce_bulk(
+                prepared.threads[idx], prepared.keys[idx], values, op
+            )
+            return
+        counters = self.cluster.counters(self.host_id)
+        counters.reduce_calls += count
+        self._batch = prepared.fold(idx, values, op)
 
     def _spill_batch(self) -> None:
         """Move the folded batch into the thread dicts (values unchanged)."""

@@ -13,6 +13,7 @@ from repro.exec.codegen import (
     CompiledOperator,
     CompiledPlan,
     FusedGroup,
+    PreparedFrontierPush,
     compile_plan,
     fusion_enabled,
 )
@@ -27,7 +28,11 @@ from repro.exec.engine import (
 from repro.exec.executor import Executor
 from repro.exec.plan import (
     PLAN_SCHEMA,
+    ActiveFilter,
+    CmpFilter,
+    apply_value_filter,
     DegreeReduce,
+    DstCmpFilter,
     EdgePush,
     HostStep,
     NodeUpdate,
@@ -38,6 +43,7 @@ from repro.exec.plan import (
     ResidualDecl,
     ScalarKernel,
     SyncStep,
+    filter_summary,
     format_plan_summary,
     operator_summary,
     plan_summary,
@@ -48,6 +54,7 @@ __all__ = [
     "CompiledPlan",
     "Executor",
     "FusedGroup",
+    "PreparedFrontierPush",
     "compile_plan",
     "fusion_enabled",
     "ENGINES",
@@ -58,6 +65,11 @@ __all__ = [
     "make_engine",
     "PLAN_SCHEMA",
     "ResidualDecl",
+    "ActiveFilter",
+    "CmpFilter",
+    "apply_value_filter",
+    "DstCmpFilter",
+    "filter_summary",
     "DegreeReduce",
     "EdgePush",
     "HostStep",

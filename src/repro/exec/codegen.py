@@ -22,6 +22,16 @@ kernels whose static inputs are assembled exactly once:
   |sel|``, ``charge_per_edge * |edges|``, thread boundaries) are baked at
   generation time. The per-round work drops from the full O(E) expansion
   pipeline to one gather + one reduce.
+* **Frontier specialization** - an EdgePush whose dynamic parts are
+  *declarative filter specs* (an activity map, a
+  :class:`~repro.exec.plan.CmpFilter` value filter, a
+  :class:`~repro.exec.plan.DstCmpFilter` edge filter) compiles into a
+  :class:`PreparedFrontierPush`: the same frozen static decomposition,
+  plus a per-round frontier gather intersected with the frozen CSR
+  expansion through a density-switched dense-mask / sparse-gather path
+  (``FRONTIER_DENSE_SWITCH``), with the filters compiled to numpy masks
+  instead of per-node Python calls. Opaque callable filters keep the
+  kernel interpreted (the legal fallback).
 * **Fusion** - maximal runs of *adjacent* specialized operator steps with
   compatible reads/writes metadata (no later step reads a map an earlier
   step writes; no key-value-store carriers) fuse into one
@@ -53,7 +63,9 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.core.reducers import SUM
 from repro.exec.plan import (
+    CmpFilter,
     DegreeReduce,
+    DstCmpFilter,
     EdgePush,
     HostStep,
     NodeUpdate,
@@ -63,8 +75,29 @@ from repro.exec.plan import (
     ResetStep,
     ScalarKernel,
     SyncStep,
+    apply_value_filter,
 )
 from repro.runtime.engine import _iteration_set, par_for, par_for_bulk
+
+# Direction-optimization-style density switch for compiled frontier
+# pushes: with fewer than 1/FRONTIER_DENSE_SWITCH of a host's candidate
+# sources surviving the filters, the per-source sparse gather beats
+# masking the full precomputed expansion; at or above it, the dense mask
+# (one boolean repeat over the frozen CSR expansion) wins. Both paths
+# produce identical index arrays, so the switch is unobservable in the
+# byte-identity contract - the chosen path is recorded per host in the
+# phase trace (``PhaseRecord.frontier``).
+FRONTIER_DENSE_SWITCH = 4
+
+# Rounds a reduce-fold plan's path must qualify before the plan is built.
+# Building a plan costs one stable sort (or unique) over the host's full
+# frozen expansion - profitable only when many later rounds replay it.
+# Short runs (power-law SSSP converges in a handful of rounds) never
+# reach the threshold and keep the generic per-round fold; long frontier
+# runs (road SSSP/BFS, hundreds of rounds) cross it early and amortize
+# the build many times over. Purely a scheduling choice: every route
+# folds byte-identically, so the switch is unobservable in results.
+FOLD_PLAN_WARMUP = 4
 
 # Compiled-entry tags (repro.exec.executor.run_round's closed dispatch set):
 # a compute phase, a fused compute group, a sync collective, and a prebound
@@ -201,6 +234,218 @@ class SpecializedEdgePush(_SpecializedKernel):
                 target.reduce_bulk_prepared(host, prepared, pushes, op)
             else:
                 target.reduce_bulk(host, threads_sel, dst, pushes, op)
+
+        return run
+
+
+class PreparedFrontierPush(_SpecializedKernel):
+    """A frontier/filtered EdgePush with the static decomposition frozen
+    and the per-round filters compiled to numpy masks.
+
+    The partition-derived pipeline - degree selection, CSR expansion
+    (``source_pos``/destinations/threads/weights), charge constants - is
+    exactly :class:`SpecializedEdgePush`'s and is computed once per host.
+    What cannot be frozen is the *selection*: the active set changes
+    every round, and declarative value/edge filters
+    (:class:`~repro.exec.plan.CmpFilter`,
+    :class:`~repro.exec.plan.DstCmpFilter`) depend on live values. Each
+    round the kernel gathers the frontier once (``np.flatnonzero`` over
+    the map's cached activity-mask snapshot), shrinks it with the
+    compiled value mask, and intersects the surviving sources with the
+    frozen expansion through one of two paths chosen by frontier
+    density (``FRONTIER_DENSE_SWITCH``):
+
+    * **dense** - scatter the surviving sources into a boolean mask over
+      the candidate list, ``np.repeat`` it across the frozen expansion,
+      and ``np.flatnonzero``: O(candidate edges), no per-source work.
+    * **sparse** - rebuild edge indices for just the surviving sources
+      from the frozen per-source offsets: O(frontier edges).
+
+    Both produce the same ascending index array into the frozen
+    expansion, so counters, read/reduce accounting, and folded values
+    stay byte-identical to ``Executor._edge_push_bulk`` (the interpreted
+    reference) whichever path runs; the choice is recorded per host in
+    ``PhaseRecord.frontier`` for trace inspection.
+    """
+
+    def _build(self, cluster: Cluster, part: Any, host: int):
+        k = self.kernel
+        total = len(_iteration_set(part, self.space))
+        indptr = part.indptr
+        local_ids = np.arange(total, dtype=np.int64)
+        degrees = indptr[local_ids + 1] - indptr[local_ids]
+        sel = np.flatnonzero(degrees > 0) if k.skip_zero_degree else local_ids
+        if sel.size == 0:
+            return _noop
+        charge_src = int(k.charge_per_source * sel.size)
+        node_sel = _freeze(part.local_to_global[sel])
+        starts = indptr[sel]
+        counts = indptr[sel + 1] - starts
+        edge_total = int(counts.sum())
+        # The full expansion over every candidate source, frozen; rounds
+        # index into it instead of re-deriving it. (All arrays may be
+        # empty when skip_zero_degree=False leaves only 0-degree nodes.)
+        source_pos_full = np.repeat(np.arange(sel.size, dtype=np.int64), counts)
+        offsets = _freeze(np.cumsum(counts) - counts)
+        edge_ids_full = (
+            np.arange(edge_total, dtype=np.int64)
+            - np.repeat(offsets, counts)
+            + np.repeat(starts, counts)
+        )
+        threads_full = _freeze(cluster.threads_of(total)[sel][source_pos_full])
+        dst_full = _freeze(part.local_to_global[part.indices[edge_ids_full]])
+        src_full = (
+            _freeze(node_sel[source_pos_full]) if k.edge_filter is not None else None
+        )
+        weights_full = None
+        if k.with_weight == "add":
+            if k.unit_weights or part.weights is None:
+                weights_full = np.ones(edge_total, dtype=np.float64)
+            else:
+                weights_full = np.asarray(part.weights[edge_ids_full])
+            weights_full = _freeze(weights_full)
+        const_full = None
+        if k.const_value is not None:
+            const_full = _freeze(np.full(edge_total, k.const_value))
+        counts = _freeze(counts)
+        all_pos = _freeze(np.arange(sel.size, dtype=np.int64))
+        all_edges = _freeze(np.arange(edge_total, dtype=np.int64))
+        source_pos_full = _freeze(source_pos_full)
+        sel = _freeze(sel)
+        num_candidates = sel.size
+        require_active = k.require_active
+        source, target, op = k.source, k.target, k.op
+        # Reduce-fold plans over the frozen expansion: the full-batch plan
+        # serves full-frontier rounds outright; the subset plan folds any
+        # ascending subset without the per-round composite sort. Both are
+        # None for strategies with no prepared path (generic reduce_bulk
+        # then runs, still byte-identical) and built lazily only after
+        # ``FOLD_PLAN_WARMUP`` qualifying rounds, so sparse-frontier and
+        # short runs never pay the one-time sort of the full expansion.
+        fold_plans: dict[str, Any] = {}
+        fold_qualified: dict[str, int] = {"full": 0, "subset": 0}
+
+        def fold_plan(kind: str) -> Any:
+            if kind in fold_plans:
+                return fold_plans[kind]
+            fold_qualified[kind] += 1
+            if fold_qualified[kind] <= FOLD_PLAN_WARMUP:
+                return None
+            prepare = (
+                k.target.prepare_reduce_bulk
+                if kind == "full"
+                else k.target.prepare_reduce_bulk_subsets
+            )
+            fold_plans[kind] = prepare(host, threads_full, dst_full)
+            return fold_plans[kind]
+        value_filter, transform, edge_filter = (
+            k.value_filter,
+            k.transform,
+            k.edge_filter,
+        )
+        charge_per_edge = k.charge_per_edge
+
+        def mark(path: str) -> None:
+            record = cluster._current
+            if record is not None:
+                if record.frontier is None:
+                    record.frontier = {}
+                record.frontier[host] = path
+
+        def run() -> None:
+            counters = cluster.counters(host)
+            if charge_src:
+                counters.local_ops += charge_src
+            # Frontier gather: one uncharged activity probe over the
+            # frozen candidate list (the map caches the round's mask).
+            sel_pos = all_pos
+            if require_active is not None:
+                keep = require_active.is_active_bulk(host, node_sel)
+                sel_pos = np.flatnonzero(keep)
+                if sel_pos.size == 0:
+                    mark("empty")
+                    return
+            values = None
+            if source is not None:
+                values = source.read_local_bulk(host, sel[sel_pos])
+                if value_filter is not None:
+                    keep_v = np.asarray(
+                        apply_value_filter(value_filter, values, node_sel[sel_pos])
+                    )
+                    sel_pos = sel_pos[keep_v]
+                    values = values[keep_v]
+                    if sel_pos.size == 0:
+                        mark("empty")
+                        return
+                if transform is not None:
+                    values = np.asarray(transform(values, node_sel[sel_pos]))
+            counts_k = counts[sel_pos]
+            n_edges = int(counts_k.sum())
+            counters.edge_iters += n_edges
+            if charge_per_edge:
+                counters.local_ops += charge_per_edge * n_edges
+            if n_edges == 0:
+                mark("empty")
+                return
+            # Intersect the frontier with the frozen expansion; all
+            # paths yield the same ascending index array into it.
+            if sel_pos.size == num_candidates:
+                path = "dense"
+                idx = all_edges
+                source_pos = source_pos_full
+            elif sel_pos.size * FRONTIER_DENSE_SWITCH >= num_candidates:
+                path = "dense"
+                keep_sources = np.zeros(num_candidates, dtype=bool)
+                keep_sources[sel_pos] = True
+                idx = np.flatnonzero(np.repeat(keep_sources, counts))
+                source_pos = None
+            else:
+                path = "sparse"
+                starts_k = offsets[sel_pos]
+                idx = (
+                    np.arange(n_edges, dtype=np.int64)
+                    - np.repeat(np.cumsum(counts_k) - counts_k, counts_k)
+                    + np.repeat(starts_k, counts_k)
+                )
+                source_pos = None
+            if const_full is not None:
+                pushes = const_full[idx]
+            else:
+                if source_pos is None:
+                    source_pos = np.repeat(
+                        np.arange(sel_pos.size, dtype=np.int64), counts_k
+                    )
+                pushes = values[source_pos]
+            if edge_filter is not None:
+                keep_e = np.asarray(edge_filter(src_full[idx], dst_full[idx]))
+                if not np.all(keep_e):
+                    pushes = pushes[keep_e]
+                    idx = idx[keep_e]
+                    if idx.size == 0:
+                        mark(path)
+                        return
+            if weights_full is not None:
+                pushes = pushes + weights_full[idx]
+            # Reduce-path switch (same contract as the gather's): every
+            # route folds byte-identically, so the cheapest one runs.
+            # Full rounds replay the fully-static fold plan; every other
+            # round folds through the subset plan's precomputed ranks -
+            # O(frontier log frontier), no composite rebuild. Warmup
+            # rounds (and strategies with no prepared path) take the
+            # generic fold below.
+            if idx.size == edge_total:
+                plan = ("full", fold_plan("full"))
+            else:
+                plan = ("subset", fold_plan("subset"))
+            if plan is None or plan[1] is None:
+                target.reduce_bulk(
+                    host, threads_full[idx], dst_full[idx], pushes, op
+                )
+            elif plan[0] == "full":
+                target.reduce_bulk_prepared(host, plan[1], pushes, op)
+            else:
+                target.reduce_bulk_subset(host, plan[1], idx, pushes, op)
+            mark(path)
 
         return run
 
@@ -364,15 +609,33 @@ class CompiledPlan:
 # ----------------------------------------------------------------- compiler
 
 
+def _static_push(kernel: EdgePush) -> bool:
+    """Fully static: the push's whole control flow is a pure function of
+    the partition (no activity/value/edge filters at all)."""
+    return (
+        kernel.require_active is None
+        and kernel.value_filter is None
+        and kernel.edge_filter is None
+    )
+
+
+def _declarative_filters(kernel: EdgePush) -> bool:
+    """Every filter the push carries is a declarative spec the generator
+    can compile to a numpy mask (activity maps always qualify; opaque
+    callables never do - they keep the kernel interpreted)."""
+    vf, ef = kernel.value_filter, kernel.edge_filter
+    return (vf is None or isinstance(vf, CmpFilter)) and (
+        ef is None or isinstance(ef, DstCmpFilter)
+    )
+
+
 def _specializable(kernel: Any) -> bool:
-    """Static analyzability: the kernel's whole control flow is a pure
-    function of the partition (no per-round activity/value/edge filters)."""
+    """Static analyzability: either the kernel's whole control flow is a
+    pure function of the partition, or its dynamic parts are declarative
+    filter specs the generator compiles to masks
+    (:class:`PreparedFrontierPush`)."""
     if isinstance(kernel, EdgePush):
-        return (
-            kernel.require_active is None
-            and kernel.value_filter is None
-            and kernel.edge_filter is None
-        )
+        return _static_push(kernel) or _declarative_filters(kernel)
     return isinstance(kernel, (NodeUpdate, DegreeReduce))
 
 
@@ -435,7 +698,10 @@ def _compile_operator(executor, operator: Operator) -> CompiledOperator:
         # Reference-loop semantics on both backends (executor module doc).
         return CompiledOperator(operator, par_for, kernel.body, False)
     if executor.bulk and executor.codegen and _specializable(kernel):
-        body = _SPECIALIZED_FORMS[type(kernel)](kernel, operator.space)
+        if isinstance(kernel, EdgePush) and not _static_push(kernel):
+            body: _SpecializedKernel = PreparedFrontierPush(kernel, operator.space)
+        else:
+            body = _SPECIALIZED_FORMS[type(kernel)](kernel, operator.space)
         return CompiledOperator(operator, run_hosted, body, True)
     if isinstance(kernel, EdgePush):
         body = (
@@ -518,9 +784,11 @@ __all__ = [
     "ENTRY_FUSED",
     "ENTRY_SYNC",
     "ENTRY_EXEC",
+    "FRONTIER_DENSE_SWITCH",
     "CompiledOperator",
     "CompiledPlan",
     "FusedGroup",
+    "PreparedFrontierPush",
     "SpecializedDegreeReduce",
     "SpecializedEdgePush",
     "SpecializedNodeUpdate",

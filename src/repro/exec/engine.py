@@ -39,7 +39,14 @@ import numpy as np
 
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import KEY_BYTES
-from repro.exec.plan import EdgePush, OperatorStep, Plan, ResidualDecl
+from repro.exec.plan import (
+    CmpFilter,
+    EdgePush,
+    OperatorStep,
+    Plan,
+    ResidualDecl,
+    apply_value_filter,
+)
 from repro.exec.pool import HEALABLE_ERRORS
 from repro.faults.recovery import run_recoverable_loop
 from repro.runtime.engine import NonQuiescenceError
@@ -354,16 +361,30 @@ class AsyncEngine(Engine):
         num_nodes = int(values.size)
         # Initial frontier: every node whose value is pushable. Residuals
         # start at +inf (nothing has been processed yet); ties and equal
-        # priorities break by node id via the heap tuple.
+        # priorities break by node id via the heap tuple. A declarative
+        # value filter (CmpFilter) seeds the frontier as one compiled
+        # mask over the whole value array; an opaque callable keeps the
+        # per-node probe (its scalar contract is all we may assume).
         priority = np.zeros(num_nodes, dtype=np.float64)
-        heap: list[tuple[float, int]] = []
-        for node in range(num_nodes):
-            if kernel.value_filter is not None and not bool(
-                kernel.value_filter(values[node])
-            ):
-                continue
-            priority[node] = np.inf
-            heap.append((-np.inf, node))
+        vf = kernel.value_filter
+        if vf is None or isinstance(vf, CmpFilter):
+            if vf is None:
+                seed = np.arange(num_nodes, dtype=np.int64)
+            else:
+                all_nodes = np.arange(num_nodes, dtype=np.int64)
+                keep = np.asarray(apply_value_filter(vf, values, all_nodes))
+                seed = np.flatnonzero(keep)
+            priority[seed] = np.inf
+            heap: list[tuple[float, int]] = [
+                (-np.inf, int(node)) for node in seed
+            ]
+        else:
+            heap = []
+            for node in range(num_nodes):
+                if not bool(vf(values[node])):
+                    continue
+                priority[node] = np.inf
+                heap.append((-np.inf, node))
         heapq.heapify(heap)
         self.last_updates = 0
         chunks = 0
@@ -383,8 +404,11 @@ class AsyncEngine(Engine):
                         counters.local_ops += kernel.charge_per_source
                     self.last_updates += 1
                     value = values[u]
+                    # Per-pop, not chunk-prefiltered: values improve
+                    # mid-chunk (vertex consistency), so a node failing
+                    # the filter at chunk start can pass by its pop.
                     if kernel.value_filter is not None and not bool(
-                        kernel.value_filter(value)
+                        apply_value_filter(kernel.value_filter, value, u)
                     ):
                         continue
                     for edge in range(int(indptr[u]), int(indptr[u + 1])):

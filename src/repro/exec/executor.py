@@ -70,6 +70,7 @@ from repro.exec.plan import (
     EdgePush,
     NodeUpdate,
     Plan,
+    apply_value_filter,
 )
 from repro.exec.pool import HostShardPool, create_pool
 from repro.runtime.engine import (
@@ -329,7 +330,9 @@ class Executor:
             value = None
             if k.source is not None:
                 value = k.source.read_local(ctx.host, ctx.local)
-                if k.value_filter is not None and not bool(k.value_filter(value)):
+                if k.value_filter is not None and not bool(
+                    apply_value_filter(k.value_filter, value, ctx.node)
+                ):
                     return
             if k.const_value is not None:
                 push = k.const_value
@@ -356,29 +359,39 @@ class Executor:
     def _edge_push_bulk(self, k: EdgePush) -> Callable[[BulkOperatorContext], None]:
         def body(ctx: BulkOperatorContext) -> None:
             sel = np.arange(ctx.local_ids.size, dtype=np.int64)
+            # The node-id view is hoisted once and shrunk alongside sel,
+            # so the activity/value/edge filters share one gather instead
+            # of re-indexing ctx.node_ids per filter stage.
+            nodes = ctx.node_ids
             if k.skip_zero_degree:
                 sel = np.flatnonzero(ctx.degrees() > 0)
                 if sel.size == 0:
                     return
+                nodes = ctx.node_ids[sel]
             if k.charge_per_source:
                 ctx.charge(int(k.charge_per_source * sel.size))
             if sel.size == 0:
                 return
             if k.require_active is not None:
-                sel = sel[k.require_active.is_active_bulk(ctx.host, ctx.node_ids[sel])]
+                keep = k.require_active.is_active_bulk(ctx.host, nodes)
+                sel = sel[keep]
+                nodes = nodes[keep]
                 if sel.size == 0:
                     return
             values = None
             if k.source is not None:
                 values = k.source.read_local_bulk(ctx.host, ctx.local_ids[sel])
                 if k.value_filter is not None:
-                    keep = np.asarray(k.value_filter(values))
+                    keep = np.asarray(
+                        apply_value_filter(k.value_filter, values, nodes)
+                    )
                     sel = sel[keep]
+                    nodes = nodes[keep]
                     values = values[keep]
                     if sel.size == 0:
                         return
                 if k.transform is not None:
-                    values = np.asarray(k.transform(values, ctx.node_ids[sel]))
+                    values = np.asarray(k.transform(values, nodes))
             source_pos, edge_ids = ctx.expand_edges(ctx.local_ids[sel])
             if k.charge_per_edge:
                 ctx.charge(int(k.charge_per_edge * edge_ids.size))
@@ -391,9 +404,7 @@ class Executor:
             else:
                 pushes = values[source_pos]
             if k.edge_filter is not None:
-                keep = np.asarray(
-                    k.edge_filter(ctx.node_ids[sel][source_pos], dst)
-                )
+                keep = np.asarray(k.edge_filter(nodes[source_pos], dst))
                 if not np.all(keep):
                     threads = threads[keep]
                     dst = dst[keep]

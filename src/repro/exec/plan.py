@@ -26,8 +26,12 @@ Operator bodies come in four *kernel forms*:
 
 from __future__ import annotations
 
+import math
+import operator as _operator
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, Union
+
+import numpy as np
 
 from repro.cluster.metrics import PhaseKind
 from repro.core.propmap import NodePropMap
@@ -35,7 +39,165 @@ from repro.core.reducers import SUM, ReduceOp
 from repro.partition.base import PartitionedGraph
 from repro.runtime.engine import OperatorContext
 
-PLAN_SCHEMA = "repro-exec-plan/v1.1"
+PLAN_SCHEMA = "repro-exec-plan/v1.2"
+
+
+# ------------------------------------------------------------- filter specs
+#
+# Declarative predicates for EdgePush. A plain callable remains a legal
+# value/edge filter, but it is opaque: the plan cannot serialize it
+# (``repro plan --json`` reports a refusal) and the code generator cannot
+# specialize the kernel around it (the push runs interpreted). The spec
+# forms below are data - an operator name plus operands - so they
+# serialize under schema v1.2 and compile to numpy masks
+# (repro.exec.codegen.PreparedFrontierPush). Each spec is itself callable
+# with the legacy filter signature, so the scalar oracle, the interpreted
+# bulk backend, and the async engine run the exact same predicate without
+# knowing it is declarative.
+
+_CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "eq": _operator.eq,
+    "ne": _operator.ne,
+    "lt": _operator.lt,
+    "le": _operator.le,
+    "gt": _operator.gt,
+    "ge": _operator.ge,
+}
+
+
+def _const_json(value: Any) -> Any:
+    """A filter constant in JSON-portable form (inf/nan become strings)."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    return value
+
+
+def _array_json(array: Any) -> dict:
+    """Shape-level description of a per-node operand array (the values
+    themselves are graph-sized; the plan records provenance, not data)."""
+    arr = np.asarray(array)
+    return {"len": int(arr.shape[0]), "dtype": str(arr.dtype)}
+
+
+@dataclass(frozen=True)
+class ActiveFilter:
+    """Declarative activity filter: keep sources whose ``map`` copy
+    changed last round (the data-driven frontier). ``EdgePush``
+    normalizes this to its ``require_active`` map, so downstream layers
+    (reads metadata, pool carriers, both interpreters) see the map they
+    always did; declaring the spec documents intent and keeps algorithm
+    code fully declarative."""
+
+    map: NodePropMap
+
+    def summary(self) -> dict:
+        return {"kind": "active", "map": self.map.name}
+
+
+@dataclass(frozen=True)
+class CmpFilter:
+    """Declarative value filter: ``values OP const`` or, with ``other``
+    (an array indexed by global node id), ``values OP other[nodes]``.
+
+    Callable with the legacy ``value_filter(values)`` signature (numpy
+    semantics, scalars included); the ``other`` form needs the node ids,
+    which both interpreters provide via :func:`apply_value_filter`.
+    """
+
+    op: str
+    const: Any = None
+    other: Any = None  # per-node operand array (global node id indexed)
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(
+                f"unknown comparison {self.op!r}; use one of {sorted(_CMP_OPS)}"
+            )
+        if (self.const is None) == (self.other is None):
+            raise ValueError("CmpFilter takes exactly one of const= or other=")
+
+    @property
+    def needs_nodes(self) -> bool:
+        return self.other is not None
+
+    def __call__(self, values: Any, nodes: Any = None) -> Any:
+        if self.other is not None:
+            if nodes is None:
+                raise TypeError(
+                    "CmpFilter(other=...) needs the node ids; call via "
+                    "apply_value_filter"
+                )
+            return _CMP_OPS[self.op](values, self.other[nodes])
+        return _CMP_OPS[self.op](values, self.const)
+
+    def summary(self) -> dict:
+        out: dict = {"kind": "cmp", "op": self.op}
+        if self.other is not None:
+            out["other"] = _array_json(self.other)
+        else:
+            out["const"] = _const_json(self.const)
+        return out
+
+
+@dataclass(frozen=True)
+class DstCmpFilter:
+    """Declarative edge filter over a per-node operand array: keep edges
+    with ``array[src] OP array[dst]`` (or ``array[dst] OP const`` when
+    ``const`` is given). Callable with the legacy ``edge_filter(src,
+    dst)`` signature; array-style like every plan callable."""
+
+    op: str
+    array: Any  # per-node operand array (global node id indexed)
+    const: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(
+                f"unknown comparison {self.op!r}; use one of {sorted(_CMP_OPS)}"
+            )
+
+    def __call__(self, src: Any, dst: Any) -> Any:
+        if self.const is not None:
+            return _CMP_OPS[self.op](self.array[dst], self.const)
+        return _CMP_OPS[self.op](self.array[src], self.array[dst])
+
+    def summary(self) -> dict:
+        out: dict = {
+            "kind": "dst-cmp",
+            "op": self.op,
+            "array": _array_json(self.array),
+        }
+        if self.const is not None:
+            out["const"] = _const_json(self.const)
+        return out
+
+
+def filter_summary(fn: Any) -> dict:
+    """Machine-readable form of one filter: the spec's own summary, or
+    the schema v1.2 refusal record for an opaque callable (still a legal
+    filter - the kernel just runs interpreted and the plan says why)."""
+    if isinstance(fn, (CmpFilter, DstCmpFilter)):
+        return fn.summary()
+    name = getattr(fn, "__qualname__", None) or type(fn).__name__
+    return {
+        "kind": "opaque",
+        "callable": name,
+        "message": (
+            "opaque callable filters are not serializable and keep the "
+            "kernel interpreted; declare CmpFilter/DstCmpFilter for codegen"
+        ),
+    }
+
+
+def apply_value_filter(vf: Callable, values: Any, nodes: Any) -> Any:
+    """Evaluate a value filter, passing the node ids only to specs that
+    compare against a per-node operand (plain callables keep their
+    one-argument contract)."""
+    if getattr(vf, "needs_nodes", False):
+        return vf(values, nodes)
+    return vf(values)
 
 
 # ------------------------------------------------------- residual contracts
@@ -112,12 +274,21 @@ class EdgePush:
     ``edge_iters`` plus ``charge_per_edge``) -> ``edge_filter`` -> weight
     combine -> reduce. All callables are written array-style (numpy
     semantics); the executor derives the per-node scalar form.
+
+    Filters come in two strengths. Declarative specs -
+    :class:`ActiveFilter` (normalized into ``require_active``),
+    :class:`CmpFilter` for ``value_filter``, :class:`DstCmpFilter` for
+    ``edge_filter`` - serialize in the plan schema and let the code
+    generator compile the push into a frontier-aware kernel
+    (``repro.exec.codegen.PreparedFrontierPush``). Plain callables stay
+    legal but opaque: the kernel runs interpreted and ``repro plan``
+    reports why.
     """
 
     target: NodePropMap
     op: ReduceOp
     source: NodePropMap | None = None
-    require_active: NodePropMap | None = None
+    require_active: NodePropMap | ActiveFilter | None = None
     skip_zero_degree: bool = True
     charge_per_source: int = 0
     charge_per_edge: int = 0
@@ -130,6 +301,13 @@ class EdgePush:
     # Residual/delta declaration for the asynchronous engine; None means
     # the kernel is only eligible for BSP execution.
     residual: ResidualDecl | None = None
+
+    def __post_init__(self) -> None:
+        # ActiveFilter is declarative sugar over the require_active map:
+        # normalize here so every downstream layer (reads metadata, pool
+        # carriers, both interpreters, codegen) handles one form.
+        if isinstance(self.require_active, ActiveFilter):
+            self.require_active = self.require_active.map
 
     @property
     def form(self) -> str:
@@ -339,6 +517,22 @@ def operator_summary(operator: Operator) -> dict:
     if residual is not None:
         # Schema v1.1: async-engine eligibility is inspectable per kernel.
         summary["residual"] = residual.summary()
+    if isinstance(kernel, EdgePush):
+        # Schema v1.2: filter predicates are inspectable per kernel -
+        # declarative specs serialize in full, opaque callables get a
+        # refusal record naming the callable and the consequence.
+        filters: dict = {}
+        if kernel.require_active is not None:
+            filters["active"] = {
+                "kind": "active",
+                "map": kernel.require_active.name,
+            }
+        if kernel.value_filter is not None:
+            filters["value"] = filter_summary(kernel.value_filter)
+        if kernel.edge_filter is not None:
+            filters["edge"] = filter_summary(kernel.edge_filter)
+        if filters:
+            summary["filters"] = filters
     return summary
 
 
@@ -401,6 +595,11 @@ def format_plan_summary(summary: dict) -> str:
 __all__ = [
     "PLAN_SCHEMA",
     "ResidualDecl",
+    "ActiveFilter",
+    "CmpFilter",
+    "DstCmpFilter",
+    "apply_value_filter",
+    "filter_summary",
     "EdgePush",
     "NodeUpdate",
     "DegreeReduce",

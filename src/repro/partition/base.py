@@ -197,13 +197,10 @@ def build_partitioned(
         masters = owned_by_host[host]
         mirrors = np.setdiff1d(endpoints, masters, assume_unique=False)
         local_to_global = np.concatenate([masters, mirrors])
-        lookup = {int(g): l for l, g in enumerate(local_to_global)}
-        local_srcs = np.fromiter(
-            (lookup[int(s)] for s in host_srcs), dtype=np.int64, count=host_srcs.size
-        )
-        local_dsts = np.fromiter(
-            (lookup[int(d)] for d in host_dsts), dtype=np.int64, count=host_dsts.size
-        )
+        lookup = np.empty(graph.num_nodes, dtype=np.int64)
+        lookup[local_to_global] = np.arange(local_to_global.size, dtype=np.int64)
+        local_srcs = lookup[host_srcs]
+        local_dsts = lookup[host_dsts]
         order = np.argsort(local_srcs, kind="stable")
         local_srcs = local_srcs[order]
         local_dsts = local_dsts[order]

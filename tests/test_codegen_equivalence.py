@@ -29,7 +29,7 @@ from repro.core.variants import RuntimeVariant
 from repro.eval.harness import APP_WEIGHTED, KIMBAP_APPS, run_kimbap
 from repro.exec import Executor, Operator, OperatorStep, Plan, SyncStep
 from repro.exec.codegen import ENTRY_FUSED, ENTRY_OPERATOR, fusion_enabled
-from repro.exec.plan import EdgePush, NodeUpdate
+from repro.exec.plan import CmpFilter, EdgePush, NodeUpdate
 from repro.faults import FaultPlan, HostCrash, install_faults
 from repro.graph import generators
 from repro.partition import partition
@@ -92,9 +92,9 @@ class TestCodegenByteIdentity:
 class TestCodegenComposes:
     """Codegen x host-parallel sharding x fault plans x runtime variants."""
 
-    @pytest.mark.parametrize("app", ("PR", "CC-LP"))
+    @pytest.mark.parametrize("app", ("PR", "CC-LP", "SSSP"))
     def test_jobs_sharding(self, app):
-        graph = generators.powerlaw_like(scale=6, seed=3)
+        graph = generators.powerlaw_like(scale=6, seed=3, weighted=app_weighted(app))
         assert_codegen_identical(app, graph, hosts=4, jobs=2)
 
     def test_mc_variant_stays_identical_under_jobs(self):
@@ -216,21 +216,21 @@ class TestFusionBoundaries:
         _, tags = self._compiled_tags(graph, bulk=False)
         assert ENTRY_FUSED not in tags
 
-    def test_unspecializable_push_breaks_the_group(self, graph):
-        # An EdgePush with require_active keeps its interpreted body and
-        # must not join a fused group.
+    def _push_then_fill(self, graph, with_active=False, **push_kwargs):
         cluster = Cluster(2, threads_per_host=2)
         pgraph = partition(graph, 2, "cvc")
         executor = Executor(cluster, bulk=True)
         label = NodePropMap(cluster, pgraph, "label")
-        active = NodePropMap(cluster, pgraph, "active")
         out = NodePropMap(cluster, pgraph, "out")
+        if with_active:
+            push_kwargs["require_active"] = NodePropMap(
+                cluster, pgraph, "active"
+            )
         steps = [
             OperatorStep(
                 Operator(
                     "push", "all",
-                    EdgePush(target=out, op=MIN, source=label,
-                             require_active=active),
+                    EdgePush(target=out, op=MIN, source=label, **push_kwargs),
                 )
             ),
             OperatorStep(
@@ -242,9 +242,25 @@ class TestFusionBoundaries:
         ]
         plan = Plan(name="mixed", pgraph=pgraph, steps=steps, once=True)
         compiled = executor.compiled(plan)
-        tags = [entry[0] for entry in compiled.entries]
+        return compiled, [entry[0] for entry in compiled.entries]
+
+    def test_opaque_filter_push_breaks_the_group(self, graph):
+        # An EdgePush with an opaque callable filter keeps its interpreted
+        # body and must not join a fused group (the non-specializable
+        # fallback the filter-spec migration preserves).
+        _, tags = self._push_then_fill(
+            graph, value_filter=lambda values: values > 0
+        )
         assert ENTRY_FUSED not in tags
         assert tags.count(ENTRY_OPERATOR) == 2
+
+    def test_frontier_push_specializes_and_fuses(self, graph):
+        # Declarative filters are compiled, so a frontier push is now a
+        # legal fusion constituent.
+        compiled, tags = self._push_then_fill(graph, with_active=True)
+        assert tags.count(ENTRY_FUSED) == 1
+        (group,) = compiled.fused_groups
+        assert group.labels == ("push", "fill")
 
     def test_fused_run_matches_interpreted_and_stamps_records(self, graph):
         _, a_cg, b_cg, log_cg = _run_once(graph, codegen=None)
@@ -267,6 +283,110 @@ class TestFusionBoundaries:
             if record.label in ("fill_a", "fill_b")
         ]
         assert interpreted == [None, None]
+
+
+# ------------------------------------------------------ frontier extremes
+
+
+def _sssp_with_trace(graph, hosts=2, codegen=True, source=0):
+    from repro.algorithms.sssp import sssp
+
+    cluster = Cluster(hosts, threads_per_host=2)
+    pgraph = partition(graph, hosts, "cvc")
+    executor = Executor(cluster, bulk=True, codegen=codegen)
+    result = sssp(cluster, pgraph, source=source, executor=executor)
+    paths = [
+        record.frontier
+        for record in cluster.log.phases
+        if record.frontier is not None
+    ]
+    return result, paths
+
+
+class TestFrontierExtremes:
+    """Frontier-aware kernels at the extremes - empty, full, and
+    threshold-crossing active sets - stay byte-identical to interpreted
+    bulk, and every executed round tapes the chosen gather path (dense /
+    sparse / empty) into the phase trace."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        hosts=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_byte_identity_and_path_taping(self, seed, hosts):
+        graph = random_graph(seed, weighted=True)
+        assert_codegen_identical("SSSP", graph, hosts=hosts, threads=2)
+        _, paths = _sssp_with_trace(graph, hosts=hosts)
+        assert paths, "compiled frontier kernels recorded no gather path"
+        seen = {path for frontier in paths for path in frontier.values()}
+        assert seen <= {"dense", "sparse", "empty"}
+
+    def test_full_frontier_runs_dense(self):
+        # Activity buffers start full, so CC-LP's first round pushes from
+        # every candidate source: the dense mask path on every host.
+        from repro.algorithms.cc_lp import cc_lp
+
+        graph = generators.powerlaw_like(scale=6, seed=3)
+        cluster = Cluster(2, threads_per_host=2)
+        pgraph = partition(graph, 2, "cvc")
+        executor = Executor(cluster, bulk=True)
+        cc_lp(cluster, pgraph, executor=executor)
+        first = next(
+            record.frontier
+            for record in cluster.log.phases
+            if record.frontier is not None
+        )
+        assert set(first.values()) == {"dense"}
+
+    def test_empty_frontier_marks_empty(self):
+        # A value filter nothing passes: the compiled kernel must charge
+        # the static per-source work, then record an empty frontier.
+        graph = generators.powerlaw_like(scale=5, seed=7)
+        cluster = Cluster(2, threads_per_host=2)
+        pgraph = partition(graph, 2, "cvc")
+        executor = Executor(cluster, bulk=True)
+        src = NodePropMap(cluster, pgraph, "src")
+        out = NodePropMap(cluster, pgraph, "out")
+        executor.init_map(src, lambda nodes: nodes + 0.0)
+        executor.init_map(out, lambda nodes: nodes + 0.0)
+        plan = Plan(
+            name="nobody",
+            pgraph=pgraph,
+            once=True,
+            steps=[
+                OperatorStep(
+                    Operator(
+                        "push", "masters",
+                        EdgePush(
+                            target=out, op=MIN, source=src,
+                            value_filter=CmpFilter("lt", -1.0),
+                        ),
+                    )
+                ),
+                SyncStep(out, "reduce"),
+            ],
+        )
+        executor.run(plan)
+        frontier = [
+            record.frontier
+            for record in cluster.log.phases
+            if record.frontier is not None
+        ]
+        assert frontier
+        assert all(set(f.values()) == {"empty"} for f in frontier)
+
+    def test_density_crosses_switch_mid_run(self):
+        # Single-source expansion on a power-law graph: round 1's
+        # frontier is the lone source (sparse gather); within a few
+        # rounds the wave covers most candidates (dense mask). Both
+        # paths must appear in one run, still byte-identical.
+        graph = generators.powerlaw_like(scale=7, seed=5, weighted=True)
+        assert_codegen_identical("SSSP", graph, hosts=2)
+        _, paths = _sssp_with_trace(graph, hosts=2)
+        seen = {path for frontier in paths for path in frontier.values()}
+        assert "sparse" in seen
+        assert "dense" in seen
 
 
 # -------------------------------------------------------- prepared folds

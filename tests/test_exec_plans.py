@@ -23,11 +23,15 @@ from repro.compiler.programs import cc_lp_program
 from repro.core.propmap import NodePropMap
 from repro.exec import (
     PLAN_SCHEMA,
+    CmpFilter,
+    DstCmpFilter,
     Executor,
     Operator,
     OperatorStep,
     Plan,
     ScalarKernel,
+    apply_value_filter,
+    filter_summary,
     format_plan_summary,
     plan_summary,
 )
@@ -81,6 +85,85 @@ class TestPlanSummaries:
         assert summary["loop"] == "once"
         assert "quiesce" not in summary
         assert Executor(cluster).run(plan) == 0
+
+
+class TestFilterSpecs:
+    """Schema v1.2: declarative filter predicates serialize in full,
+    opaque callables get a refusal record."""
+
+    def test_sssp_plan_serializes_filters(self, graph):
+        from repro.algorithms.sssp import sssp_plan
+
+        cluster = Cluster(2, threads_per_host=2)
+        pgraph = partition(graph, 2, "cvc")
+        dist = NodePropMap(cluster, pgraph, "sssp_dist")
+        summary = plan_summary(sssp_plan(pgraph, dist))
+        operator = next(
+            step for step in summary["steps"] if step["step"] == "operator"
+        )
+        filters = operator["filters"]
+        assert filters["active"] == {"kind": "active", "map": "sssp_dist"}
+        assert filters["value"]["kind"] == "cmp"
+        assert filters["value"]["op"] == "ne"
+        assert json.dumps(filters)  # JSON-serializable all the way down
+
+    def test_cmp_filter_summary_forms(self):
+        import numpy as np
+
+        assert CmpFilter("lt", 3.0).summary() == {
+            "kind": "cmp",
+            "op": "lt",
+            "const": 3.0,
+        }
+        other = np.arange(5, dtype=np.float64)
+        summary = CmpFilter("le", other=other).summary()
+        assert summary["kind"] == "cmp"
+        assert summary["other"] == {"len": 5, "dtype": "float64"}
+
+    def test_dst_cmp_filter_summary(self):
+        import numpy as np
+
+        array = np.arange(4, dtype=np.int64)
+        summary = DstCmpFilter("gt", array).summary()
+        assert summary == {
+            "kind": "dst-cmp",
+            "op": "gt",
+            "array": {"len": 4, "dtype": "int64"},
+        }
+
+    def test_cmp_filter_validation(self):
+        with pytest.raises(ValueError, match="unknown comparison"):
+            CmpFilter("spaceship", 1)
+        with pytest.raises(ValueError, match="exactly one"):
+            CmpFilter("lt")
+        with pytest.raises(ValueError, match="exactly one"):
+            CmpFilter("lt", const=1, other=[1])
+
+    def test_opaque_callable_gets_refusal_record(self):
+        def my_filter(values):
+            return values > 0
+
+        summary = filter_summary(my_filter)
+        assert summary["kind"] == "opaque"
+        assert "my_filter" in summary["callable"]
+        assert "interpreted" in summary["message"]
+        assert json.dumps(summary)
+
+    def test_apply_value_filter_routes_node_ids(self):
+        import numpy as np
+
+        values = np.array([1.0, 5.0, 2.0])
+        nodes = np.array([2, 0, 1])
+        # Plain callables keep their one-argument contract.
+        plain = apply_value_filter(lambda v: v > 1.5, values, nodes)
+        assert plain.tolist() == [False, True, True]
+        # other= specs compare against the per-node operand array.
+        other = np.array([10.0, 1.0, 0.5])
+        spec = CmpFilter("lt", other=other)
+        routed = apply_value_filter(spec, values, nodes)
+        assert routed.tolist() == [
+            bool(values[i] < other[nodes[i]]) for i in range(3)
+        ]
 
 
 class TestExecutorSemantics:
